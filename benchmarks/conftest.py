@@ -1,0 +1,23 @@
+"""Shared state for the benchmark harness.
+
+A single session-scoped :class:`~repro.evaluation.experiments.Evaluator`
+caches compiled loops, so regenerating all tables costs one compilation
+sweep of the corpus rather than one per table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import Evaluator
+
+
+@pytest.fixture(scope="session")
+def evaluator():
+    return Evaluator()
+
+
+def pedantic(benchmark, fn, *args):
+    """Run a heavyweight experiment exactly once under pytest-benchmark
+    timing (the experiments are deterministic; repetition buys nothing)."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

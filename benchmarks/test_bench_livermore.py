@@ -1,0 +1,62 @@
+"""Supplementary — the Livermore kernels under all four strategies.
+
+Not a paper table, but the classic compiler-benchmark loops give an
+interpretable per-kernel picture of where each technique pays off:
+parallel kernels (K1, K7, K12) reward selective vectorization, the
+reduction (K3) is pinned until reassociation is allowed, and the
+recurrences (K5, K11) defeat everything — which is itself the paper's
+point about dependence cycles.
+"""
+
+from conftest import pedantic
+
+from repro.compiler.driver import compile_loop
+from repro.compiler.strategies import ALL_STRATEGIES, Strategy
+from repro.machine.configs import paper_machine
+from repro.workloads.livermore import LIVERMORE_KERNELS
+
+TRIP = 400
+
+
+def run_suite():
+    machine = paper_machine()
+    rows = {}
+    for name, factory in sorted(LIVERMORE_KERNELS.items()):
+        loop = factory()
+        base = compile_loop(loop, machine, Strategy.BASELINE)
+        b = base.invocation_cycles(TRIP)
+        row = {}
+        for strategy in ALL_STRATEGIES[1:]:
+            compiled = compile_loop(loop, machine, strategy)
+            row[strategy.value] = b / compiled.invocation_cycles(TRIP)
+        reassoc = compile_loop(
+            loop, machine, Strategy.SELECTIVE, allow_reassociation=True
+        )
+        row["reassoc"] = b / reassoc.invocation_cycles(TRIP)
+        rows[name] = row
+    return rows
+
+
+def test_bench_livermore(benchmark):
+    rows = pedantic(benchmark, run_suite)
+    print()
+    print(f"{'kernel':<28} {'trad':>6} {'full':>6} {'sel':>6} {'reassoc':>8}")
+    for name, row in rows.items():
+        print(
+            f"{name:<28} {row['traditional']:>6.2f} {row['full']:>6.2f} "
+            f"{row['selective']:>6.2f} {row['reassoc']:>8.2f}"
+        )
+
+    # parallel kernels: selective wins
+    for name in ("k1_hydro", "k7_equation_of_state"):
+        assert rows[name]["selective"] > 1.1
+    # recurrences: nobody wins
+    for name in ("k5_tridiag", "k11_first_sum"):
+        for value in rows[name].values():
+            assert value <= 1.05
+    # the reduction needs reassociation
+    assert rows["k3_inner_product"]["selective"] <= 1.05
+    assert rows["k3_inner_product"]["reassoc"] > 1.3
+    # selective never loses to traditional anywhere
+    for row in rows.values():
+        assert row["selective"] >= row["traditional"] - 0.02

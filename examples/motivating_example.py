@@ -1,0 +1,60 @@
+"""The paper's Figure 1: a dot product on a three-issue machine.
+
+Reproduces the motivating example end to end: plain modulo scheduling
+achieves II 2.0, traditional vectorization *degrades* to 3.0 (loop
+distribution kills the ILP), full vectorization reaches 1.5, and
+selective vectorization — vectorizing exactly one load and the multiply —
+reaches the optimal 1.0.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro.compiler import Strategy, compile_loop
+from repro.machine import figure1_machine
+from repro.vectorize import Side
+from repro.workloads.kernels import dot_product
+
+
+def main() -> None:
+    machine = figure1_machine()
+    loop = dot_product()
+    print(loop)
+    print()
+
+    baseline = compile_loop(loop, machine, Strategy.BASELINE, baseline_unroll=1)
+    print(f"modulo scheduling      II = {baseline.ii_per_iteration():.1f}")
+
+    for strategy in (Strategy.TRADITIONAL, Strategy.FULL, Strategy.SELECTIVE):
+        compiled = compile_loop(loop, machine, strategy)
+        layout = ""
+        if strategy is Strategy.TRADITIONAL:
+            layout = (
+                "  ("
+                + " then ".join(
+                    f"{'vector' if u.transform.n_vector_ops else 'scalar'} loop"
+                    f" II={u.ii}"
+                    for u in compiled.units
+                )
+                + ")"
+            )
+        print(
+            f"{strategy.value:<22} II = {compiled.ii_per_iteration():.1f}{layout}"
+        )
+
+    selective = compile_loop(loop, machine, Strategy.SELECTIVE)
+    print("\nselective partition (Figure 1(f)):")
+    assert selective.partition is not None
+    for op in loop.body:
+        side = selective.partition.assignment[op.uid]
+        marker = "VECTOR" if side is Side.VECTOR else "scalar"
+        print(f"  [{marker}] {op}")
+
+    print("\nselective kernel:")
+    schedule = selective.units[0].schedule
+    for cycle, row in enumerate(schedule.kernel_rows()):
+        ops = ", ".join(f"{op.mnemonic()}(stage {stage})" for op, stage in row)
+        print(f"  cycle {cycle}: {ops}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: write a loop, compile it four ways, compare schedules.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compiler import ALL_STRATEGIES, compile_loop
+from repro.frontend import parse_loop
+from repro.interp import memory_for_loop
+from repro.machine import paper_machine
+
+SOURCE = """
+loop quickstart
+array x(4096), y(4096), z(4096)
+param alpha = 1.8
+carry s = 0.0
+
+do i
+    t = alpha * x(i) + y(i)
+    u = t * t - x(i)
+    z(i) = u
+    s = s + t
+end
+
+result s
+"""
+
+
+def main() -> None:
+    loop = parse_loop(SOURCE)
+    machine = paper_machine()
+    trip = 1000
+
+    print(loop)
+    print()
+    print(f"{'strategy':<12} {'II/iter':>8} {'cycles':>8} {'vec ops':>8} "
+          f"{'transfers':>9}   s (functional)")
+    for strategy in ALL_STRATEGIES:
+        compiled = compile_loop(loop, machine, strategy)
+        memory = memory_for_loop(loop, seed=42)
+        result = compiled.execute(memory, trip)
+        print(
+            f"{strategy.value:<12} {compiled.ii_per_iteration():>8.2f} "
+            f"{compiled.invocation_cycles(trip):>8} "
+            f"{compiled.n_vector_ops:>8} {compiled.n_transfers:>9}   "
+            f"{result.carried['s']:.6f}"
+        )
+
+    print()
+    selective = compile_loop(loop, machine, ALL_STRATEGIES[-1])
+    print("selective vectorization kernel (one row per cycle):")
+    schedule = selective.units[0].schedule
+    for cycle, row in enumerate(schedule.kernel_rows()):
+        ops = ", ".join(f"{op.mnemonic()}(s{stage})" for op, stage in row)
+        print(f"  cycle {cycle}: {ops}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Evaluate one synthetic SPEC benchmark, Table-2 style.
+
+Run:  python examples/spec_benchmark.py [benchmark]
+      python examples/spec_benchmark.py 172.mgrid
+"""
+
+import sys
+
+from repro.evaluation import Evaluator, PAPER_TABLE2
+from repro.workloads.spec import BENCHMARK_NAMES
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "101.tomcatv"
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(f"unknown benchmark {name!r}; pick from {BENCHMARK_NAMES}")
+
+    evaluator = Evaluator()
+    bench = evaluator.benchmark(name)
+    print(f"{name}: {bench.loop_count} loops, "
+          f"serial fraction {bench.serial_fraction:.0%}")
+    archetypes: dict[str, int] = {}
+    for w in bench.loops:
+        archetypes[w.archetype] = archetypes.get(w.archetype, 0) + 1
+    print("archetype mix:", ", ".join(f"{k}x{v}" for k, v in sorted(archetypes.items())))
+    print()
+
+    evaluation = evaluator.evaluate(name)
+    paper = PAPER_TABLE2[name]
+    print(f"{'strategy':<12} {'speedup':>8}  {'paper':>6}")
+    for label in ("traditional", "full", "selective"):
+        print(f"{label:<12} {evaluation.speedup(label):>8.2f}  "
+              f"{paper[label]:>6.2f}")
+
+    print("\nper-loop selective outcomes (resource-limited loops):")
+    better = equal = 0
+    for comparison in evaluator.loop_comparisons(name, evaluation):
+        if not comparison.resource_limited:
+            continue
+        outcome = comparison.res_mii_outcome()
+        better += outcome == "better"
+        equal += outcome == "equal"
+    print(f"  ResMII better: {better}, equal: {equal}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim for legacy editable installs (offline environment
+lacks the ``wheel`` package required by PEP 660 editable builds)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Reproduction of *Exploiting Vector Parallelism in Software Pipelined
+Loops* (Larsen, Rabbah, Amarasinghe — MICRO 2005).
+
+The package implements the paper's complete compilation flow on a loop IR:
+
+* :mod:`repro.ir` — the low-level loop IR the backend passes consume.
+* :mod:`repro.frontend` — a small loop DSL that lowers onto the IR.
+* :mod:`repro.opt` — the standard dataflow optimizations applied before
+  vectorization (CSE, constant/copy propagation, DCE, LICM, unrolling).
+* :mod:`repro.dependence` — array dependence analysis and vectorizability.
+* :mod:`repro.machine` — parametric VLIW machine descriptions (Table 1).
+* :mod:`repro.vectorize` — selective vectorization (the contribution) plus
+  the traditional and full vectorizer baselines.
+* :mod:`repro.pipeline` — iterative modulo scheduling.
+* :mod:`repro.regalloc` — rotating-register allocation for kernels.
+* :mod:`repro.interp` — a functional interpreter used to check semantics.
+* :mod:`repro.simulate` — schedule-level timing.
+* :mod:`repro.compiler` — the end-to-end driver and the four strategies.
+* :mod:`repro.workloads` — kernels and the synthetic SPEC FP corpus.
+* :mod:`repro.evaluation` — the experiments behind Tables 2-5 / Figure 1.
+"""
+
+__version__ = "1.0.0"
+
+from repro.ir import Loop, LoopBuilder, OpKind, ScalarType
+
+__all__ = ["Loop", "LoopBuilder", "OpKind", "ScalarType", "__version__"]

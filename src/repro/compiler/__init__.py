@@ -1,0 +1,18 @@
+"""End-to-end compilation: strategies and driver."""
+
+from repro.compiler.driver import (
+    CompiledLoop,
+    CompiledUnit,
+    ExecutionResult,
+    compile_loop,
+)
+from repro.compiler.strategies import ALL_STRATEGIES, Strategy
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "CompiledLoop",
+    "CompiledUnit",
+    "ExecutionResult",
+    "Strategy",
+    "compile_loop",
+]

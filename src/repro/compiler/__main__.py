@@ -1,0 +1,151 @@
+"""Command-line compiler driver.
+
+Compile a loop written in the DSL and inspect every stage::
+
+    python -m repro.compiler path/to/kernel.loop
+    python -m repro.compiler kernel.loop --strategy selective --schedule
+    python -m repro.compiler kernel.loop --machine toy --all --trip 100
+    echo 'array x(64) ...' | python -m repro.compiler - --partition
+
+Options select what is printed: the (optimized) IR, the dependence
+analysis, the partition, the transformed loop, the kernel schedule, the
+unrolled pipeline, timing, and a functional run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler.driver import compile_loop
+from repro.compiler.strategies import ALL_STRATEGIES, Strategy
+from repro.dependence.analysis import analyze_loop
+from repro.frontend import parse_loop
+from repro.interp.memory import memory_for_loop
+from repro.machine.configs import (
+    aligned_machine,
+    figure1_machine,
+    free_communication_machine,
+    paper_machine,
+    wide_vector_machine,
+)
+from repro.pipeline.kernel import kernel_listing, pipeline_listing
+from repro.vectorize.communication import Side
+
+MACHINES = {
+    "paper": paper_machine,
+    "toy": figure1_machine,
+    "aligned": aligned_machine,
+    "freecomm": free_communication_machine,
+    "vl4": lambda: wide_vector_machine(4),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compiler",
+        description="Compile a DSL loop and inspect the pipeline stages.",
+    )
+    parser.add_argument("source", help="DSL file, or '-' for stdin")
+    parser.add_argument(
+        "--machine", choices=sorted(MACHINES), default="paper"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=[s.value for s in ALL_STRATEGIES],
+        default="selective",
+    )
+    parser.add_argument("--trip", type=int, default=200, help="trip count for timing/run")
+    parser.add_argument("--optimize", action="store_true", help="run dataflow opts first")
+    parser.add_argument("--ir", action="store_true", help="print the source IR")
+    parser.add_argument("--deps", action="store_true", help="print dependence verdicts")
+    parser.add_argument("--partition", action="store_true", help="print the partition")
+    parser.add_argument("--transformed", action="store_true", help="print transformed loop(s)")
+    parser.add_argument("--schedule", action="store_true", help="print kernel schedule(s)")
+    parser.add_argument("--pipeline", action="store_true", help="print the unrolled pipeline")
+    parser.add_argument("--run", action="store_true", help="execute functionally")
+    parser.add_argument("--all", action="store_true", help="print everything")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.all:
+        for flag in ("ir", "deps", "partition", "transformed", "schedule", "run"):
+            setattr(args, flag, True)
+
+    source = (
+        sys.stdin.read()
+        if args.source == "-"
+        else open(args.source, encoding="utf-8").read()
+    )
+    loop = parse_loop(source)
+    machine = MACHINES[args.machine]()
+    strategy = Strategy(args.strategy)
+
+    if args.ir:
+        print(loop)
+        print()
+
+    if args.deps:
+        dep = analyze_loop(loop, machine.vector_length)
+        print("dependence analysis:")
+        for op in loop.body:
+            verdict = "vectorizable" if dep.is_vectorizable(op) else "serial"
+            print(f"  [{verdict:>12}] {op}")
+        print()
+
+    compiled = compile_loop(
+        loop, machine, strategy, optimize=args.optimize
+    )
+
+    if args.partition and compiled.partition is not None:
+        p = compiled.partition
+        print(
+            f"partition: cost {p.cost} (all-scalar {p.scalar_cost}), "
+            f"{p.iterations} KL iterations, trace {p.history}"
+        )
+        for op in loop.body:
+            side = p.assignment.get(op.uid)
+            tag = "VECTOR" if side is Side.VECTOR else "scalar"
+            print(f"  [{tag}] {op}")
+        print()
+
+    if args.transformed:
+        for unit in compiled.units:
+            print(unit.transform.loop)
+            print()
+
+    if args.schedule:
+        for unit in compiled.units:
+            print(kernel_listing(unit.schedule))
+            pressures = {
+                f: p.max_live for f, p in unit.allocation.pressures.items()
+            }
+            print(f"  register pressure: {pressures}")
+            print()
+
+    if args.pipeline:
+        for unit in compiled.units:
+            print(pipeline_listing(unit.schedule, min(6, max(2, args.trip))))
+            print()
+
+    print(
+        f"{strategy.value} on {machine.name}: II/iteration = "
+        f"{compiled.ii_per_iteration():.2f}, "
+        f"{compiled.invocation_cycles(args.trip)} cycles for "
+        f"{args.trip} iterations"
+    )
+
+    if args.run:
+        memory = memory_for_loop(loop, seed=42)
+        result = compiled.execute(memory, args.trip)
+        for name, value in sorted(result.carried.items()):
+            print(f"  carried {name} = {value}")
+        for name, value in sorted(result.live_outs.items()):
+            print(f"  result {name} = {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""End-to-end compilation driver (the paper's Figure 3 flow).
+
+``compile_loop`` takes a source loop and a strategy and runs dependence
+analysis, (selective) vectorization, loop transformation, modulo
+scheduling, and register allocation, producing a :class:`CompiledLoop`
+that can report timing for any trip count and execute functionally for
+semantics verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dependence.analysis import LoopDependence, analyze_loop
+from repro.interp.interpreter import run_loop
+from repro.interp.memory import MemoryImage
+from repro.ir.loop import Loop
+from repro.machine.machine import MachineDescription
+from repro.pipeline.list_schedule import list_schedule_length
+from repro.pipeline.scheduler import ModuloSchedule, modulo_schedule
+from repro.regalloc.allocator import AllocationResult, allocate_kernel
+from repro.simulate.timing import UnitTiming, aggregate_cycles
+from repro.vectorize.communication import Side
+from repro.vectorize.full import full_assignment
+from repro.vectorize.partition import (
+    PartitionConfig,
+    PartitionResult,
+    partition_operations,
+)
+from repro.vectorize.traditional import distribute_loop
+from repro.vectorize.transform import TransformResult, transform_loop
+from repro.compiler.strategies import Strategy
+
+MAX_ALLOCATION_RETRIES = 3
+
+
+@dataclass
+class CompiledUnit:
+    """One scheduled loop (a distributed piece, or the whole loop)."""
+
+    transform: TransformResult
+    schedule: ModuloSchedule
+    allocation: AllocationResult
+    timing: UnitTiming
+
+    @property
+    def ii(self) -> int:
+        return self.schedule.ii
+
+    @property
+    def factor(self) -> int:
+        return self.transform.factor
+
+
+@dataclass
+class ExecutionResult:
+    """Functional outcome of one compiled-loop invocation."""
+
+    live_outs: dict[str, object] = field(default_factory=dict)
+    carried: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class CompiledLoop:
+    """A loop compiled under one strategy."""
+
+    source: Loop
+    machine: MachineDescription
+    strategy: Strategy
+    units: list[CompiledUnit]
+    partition: PartitionResult | None = None
+
+    def invocation_cycles(self, trip_count: int) -> int:
+        return aggregate_cycles([u.timing for u in self.units], trip_count)
+
+    def ii_per_iteration(self) -> float:
+        """Steady-state initiation interval per original iteration,
+        aggregated across distributed loops."""
+        return sum(u.ii / u.factor for u in self.units)
+
+    def res_mii_per_iteration(self) -> float:
+        return sum(u.schedule.res_mii / u.factor for u in self.units)
+
+    def rec_mii_per_iteration(self) -> float:
+        return sum(u.schedule.rec_mii / u.factor for u in self.units)
+
+    @property
+    def is_resource_limited(self) -> bool:
+        """True when no unit's II is pinned by a recurrence — the class of
+        loops Table 3 reports on."""
+        return all(u.schedule.res_mii >= u.schedule.rec_mii for u in self.units)
+
+    @property
+    def n_vector_ops(self) -> int:
+        return sum(u.transform.n_vector_ops for u in self.units)
+
+    @property
+    def n_transfers(self) -> int:
+        return sum(u.transform.n_transfers for u in self.units)
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        memory: MemoryImage,
+        trip_count: int,
+        symbols: dict[str, int] | None = None,
+    ) -> ExecutionResult:
+        """Run the compiled loop functionally (distribution order for
+        traditional vectorization: each unit covers all iterations before
+        the next starts)."""
+        result = ExecutionResult()
+        for c in self.source.carried:
+            result.carried[c.entry.name] = c.init
+        for unit in self.units:
+            tr = unit.transform
+            factor = tr.factor
+            main_iters = trip_count // factor
+            residual = trip_count % factor
+
+            def carried_init_for(loop: Loop) -> dict[str, object]:
+                names = {c.entry.name for c in loop.carried}
+                return {
+                    name: value
+                    for name, value in result.carried.items()
+                    if name in names
+                }
+
+            if main_iters > 0:
+                pre_carried = dict(result.carried)
+                run = run_loop(
+                    tr.loop,
+                    memory,
+                    0,
+                    main_iters,
+                    symbols,
+                    carried_init=carried_init_for(tr.loop),
+                )
+                result.carried.update(run.carried)
+                # Fold vectorized reductions: combine the partial-sum lanes
+                # with the value the scalar held before the loop.
+                for entry_name, (kind, acc_name) in tr.reduction_combines.items():
+                    from repro.vectorize.reduction import combine_lanes
+
+                    lanes = run.carried[acc_name]
+                    init = pre_carried.get(entry_name)
+                    result.carried[entry_name] = combine_lanes(kind, lanes, init)
+                    result.carried.pop(acc_name, None)
+                for name, spec in tr.liveout_map.items():
+                    if spec.combine is not None:
+                        result.live_outs[name] = result.carried[spec.combine_entry]
+                    else:
+                        result.live_outs[name] = run.value_of(
+                            spec.register, spec.lane
+                        )
+            if residual > 0:
+                cleanup = tr.cleanup if factor > 1 else tr.loop
+                cleanup_map = (
+                    tr.cleanup_liveout_map if factor > 1 else tr.liveout_map
+                )
+                assert cleanup is not None and cleanup_map is not None
+                run = run_loop(
+                    cleanup,
+                    memory,
+                    main_iters * factor,
+                    residual,
+                    symbols,
+                    carried_init=carried_init_for(cleanup),
+                )
+                result.carried.update(run.carried)
+                for name, spec in cleanup_map.items():
+                    result.live_outs[name] = run.value_of(spec.register, spec.lane)
+        return result
+
+
+# ----------------------------------------------------------------------
+
+
+def _compile_unit(
+    transform: TransformResult,
+    machine: MachineDescription,
+) -> CompiledUnit:
+    dep = analyze_loop(transform.loop, machine.vector_length)
+    min_ii: int | None = None
+    for attempt in range(MAX_ALLOCATION_RETRIES + 1):
+        schedule = modulo_schedule(
+            transform.loop, dep.graph, machine, min_ii=min_ii
+        )
+        allocation = allocate_kernel(schedule, dep.graph)
+        if allocation.ok or attempt == MAX_ALLOCATION_RETRIES:
+            break
+        # Register pressure exceeded a file: retry at a longer II, which
+        # shortens cross-stage lifetimes.
+        min_ii = schedule.ii + 1
+
+    if not allocation.ok:
+        # Last resort: spill the longest-lived values to memory and
+        # recompile.  The spill traffic competes for the load/store units,
+        # so the schedule is redone from scratch.
+        from dataclasses import replace as dc_replace
+
+        from repro.regalloc.spill import spill_for_pressure
+
+        spilled = spill_for_pressure(
+            transform.loop, schedule, dep.graph, allocation
+        )
+        if spilled is not None:
+            transform = dc_replace(transform, loop=spilled)
+            dep = analyze_loop(spilled, machine.vector_length)
+            schedule = modulo_schedule(spilled, dep.graph, machine)
+            allocation = allocate_kernel(schedule, dep.graph)
+
+    cleanup_cycles = 0
+    if transform.cleanup is not None:
+        cdep = analyze_loop(transform.cleanup, machine.vector_length)
+        cleanup_cycles = list_schedule_length(
+            transform.cleanup, cdep.graph, machine
+        )
+
+    timing = UnitTiming(
+        ii=schedule.ii,
+        stages=schedule.stage_count,
+        factor=transform.factor,
+        cleanup_cycles=cleanup_cycles,
+        preheader_cycles=len(transform.loop.preheader),
+    )
+    return CompiledUnit(
+        transform=transform,
+        schedule=schedule,
+        allocation=allocation,
+        timing=timing,
+    )
+
+
+def compile_loop(
+    loop: Loop,
+    machine: MachineDescription,
+    strategy: Strategy,
+    partition_config: PartitionConfig | None = None,
+    baseline_unroll: int | None = None,
+    optimize: bool = False,
+    allow_reassociation: bool = False,
+) -> CompiledLoop:
+    """Compile ``loop`` under ``strategy`` for ``machine``.
+
+    ``optimize`` runs the standard dataflow pipeline (constant/copy
+    propagation, CSE, LICM, DCE) before vectorization, as the paper does;
+    the workload kernels are already in optimized form, so it defaults
+    off there.
+
+    ``allow_reassociation`` enables the Section 6 extension: floating
+    point reductions may be computed as per-lane partial accumulations
+    (reordering the operations), letting otherwise serial reduction loops
+    vectorize fully.
+    """
+    if optimize:
+        from repro.opt.pass_manager import optimize_loop
+
+        loop = optimize_loop(loop)
+    vl = machine.vector_length
+    dep = analyze_loop(loop, vl)
+
+    if strategy is Strategy.BASELINE:
+        factor = baseline_unroll if baseline_unroll is not None else vl
+        assignment = {op.uid: Side.SCALAR for op in loop.body}
+        tr = transform_loop(dep, machine, assignment, factor, suffix=".base")
+        return CompiledLoop(loop, machine, strategy, [_compile_unit(tr, machine)])
+
+    if strategy is Strategy.FULL:
+        assignment = full_assignment(dep)
+        factor = vl
+        tr = transform_loop(dep, machine, assignment, factor, suffix=".full")
+        return CompiledLoop(loop, machine, strategy, [_compile_unit(tr, machine)])
+
+    if strategy is Strategy.SELECTIVE:
+        if allow_reassociation:
+            from repro.vectorize.reduction import vectorize_reduction_loop
+
+            tr_red = vectorize_reduction_loop(dep, machine)
+            if tr_red is not None:
+                return CompiledLoop(
+                    loop, machine, strategy, [_compile_unit(tr_red, machine)]
+                )
+        partition = partition_operations(dep, machine, partition_config)
+        tr = transform_loop(
+            dep, machine, partition.assignment, vl, suffix=".sel"
+        )
+        return CompiledLoop(
+            loop,
+            machine,
+            strategy,
+            [_compile_unit(tr, machine)],
+            partition=partition,
+        )
+
+    assert strategy is Strategy.TRADITIONAL
+    units: list[CompiledUnit] = []
+    for dist in distribute_loop(dep, machine):
+        sub_dep = analyze_loop(dist.loop, vl)
+        if dist.vector:
+            assignment = {
+                op.uid: (
+                    Side.VECTOR if sub_dep.is_vectorizable(op) else Side.SCALAR
+                )
+                for op in dist.loop.body
+            }
+            factor = vl
+        else:
+            assignment = {op.uid: Side.SCALAR for op in dist.loop.body}
+            factor = 1
+        tr = transform_loop(sub_dep, machine, assignment, factor, suffix=".trad")
+        units.append(_compile_unit(tr, machine))
+    return CompiledLoop(loop, machine, strategy, units)

@@ -1,0 +1,35 @@
+"""The four compilation strategies the paper compares.
+
+* ``BASELINE`` — modulo scheduling alone, with the loop unrolled by the
+  vector length to amortize loop overhead and address arithmetic (the
+  paper's baseline; Figure 1 uses unroll 1).
+* ``TRADITIONAL`` — Allen-Kennedy vectorization: loop distribution with
+  typed fusion and scalar expansion; every distributed loop is modulo
+  scheduled.
+* ``FULL`` — vectorize all (non-isolated) data-parallel operations but
+  keep the loop intact, replicating scalar work by the vector length.
+* ``SELECTIVE`` — the paper's contribution: Kernighan-Lin partitioning
+  over the resource bins, then the same transformation engine.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Strategy(enum.Enum):
+    BASELINE = "baseline"
+    TRADITIONAL = "traditional"
+    FULL = "full"
+    SELECTIVE = "selective"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+ALL_STRATEGIES = (
+    Strategy.BASELINE,
+    Strategy.TRADITIONAL,
+    Strategy.FULL,
+    Strategy.SELECTIVE,
+)

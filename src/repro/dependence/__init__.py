@@ -1,0 +1,40 @@
+"""Dependence analysis: subscript tests, dependence graph, SCCs,
+vectorizability classification."""
+
+from repro.dependence.analysis import (
+    LoopDependence,
+    analyze_loop,
+    build_dependence_graph,
+)
+from repro.dependence.graph import DepEdge, DependenceGraph, DepKind, Via
+from repro.dependence.scc import scc_membership, tarjan_sccs
+from repro.dependence.tests import (
+    INDEPENDENT,
+    UNKNOWN,
+    DimResult,
+    Distance,
+    Independent,
+    Unknown,
+    test_dimension,
+    test_subscripts,
+)
+
+__all__ = [
+    "INDEPENDENT",
+    "UNKNOWN",
+    "DepEdge",
+    "DependenceGraph",
+    "DepKind",
+    "DimResult",
+    "Distance",
+    "Independent",
+    "LoopDependence",
+    "Unknown",
+    "Via",
+    "analyze_loop",
+    "build_dependence_graph",
+    "scc_membership",
+    "tarjan_sccs",
+    "test_dimension",
+    "test_subscripts",
+]

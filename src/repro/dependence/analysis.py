@@ -1,0 +1,306 @@
+"""Loop dependence analysis and vectorizability.
+
+Builds the dependence graph for a loop (register flow, loop-carried
+scalars, and memory dependences from the subscript tests), finds strongly
+connected components with Tarjan's algorithm, and classifies each
+operation as vectorizable or not for a given vector length.
+
+Following the paper (Section 3): an operation is vectorizable when it does
+not lie on a dependence cycle, *except* that cycles whose total carried
+distance is at least the vector length do not prevent vectorization (the
+``a[i+4] = a[i]`` case).  Memory operations must additionally be
+unit-stride — the modeled machines have no scatter/gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dependence.graph import DepEdge, DependenceGraph, DepKind, Via
+from repro.dependence.scc import scc_membership, tarjan_sccs
+from repro.dependence.tests import Distance, Independent, Unknown, test_subscripts
+from repro.ir.loop import Loop
+from repro.ir.operations import Operation, OpKind
+from repro.ir.values import VirtualRegister
+
+_VECTORIZABLE_KINDS = frozenset(
+    {
+        OpKind.ADD,
+        OpKind.SUB,
+        OpKind.MUL,
+        OpKind.DIV,
+        OpKind.NEG,
+        OpKind.ABS,
+        OpKind.MIN,
+        OpKind.MAX,
+        OpKind.SQRT,
+        OpKind.COPY,
+        OpKind.CVT,
+        OpKind.LOAD,
+        OpKind.STORE,
+    }
+)
+
+
+@dataclass
+class LoopDependence:
+    """The result of dependence analysis on one loop."""
+
+    loop: Loop
+    graph: DependenceGraph
+    sccs: list[list[int]]
+    scc_of: dict[int, int]
+    vectorizable: set[int]
+    vector_length: int
+
+    def is_vectorizable(self, op: Operation) -> bool:
+        return op.uid in self.vectorizable
+
+    def in_cycle(self, uid: int) -> bool:
+        scc = self.sccs[self.scc_of[uid]]
+        if len(scc) > 1:
+            return True
+        return any(e.dst == uid for e in self.graph.successors(uid))
+
+    def register_flow_edges(self) -> list[DepEdge]:
+        return [
+            e
+            for e in self.graph.edges
+            if e.kind is DepKind.FLOW and e.via in (Via.REGISTER, Via.CARRIED)
+        ]
+
+
+def build_dependence_graph(loop: Loop, trip_count: int | None = None) -> DependenceGraph:
+    graph = DependenceGraph()
+    for op in loop.body:
+        graph.add_op(op)
+
+    _add_register_edges(loop, graph)
+    _add_memory_edges(loop, graph, trip_count)
+    _add_overhead_edges(loop, graph)
+    return graph
+
+
+def _add_overhead_edges(loop: Loop, graph: DependenceGraph) -> None:
+    """Sequencing for loop-control operations: pointer bumps and the
+    induction increment chain themselves across iterations; the loop-back
+    branch consumes the incremented induction variable."""
+    ivinc: Operation | None = None
+    for op in loop.body:
+        if op.kind in (OpKind.BUMP, OpKind.IVINC):
+            graph.add_edge(
+                DepEdge(op.uid, op.uid, DepKind.FLOW, Via.CONTROL, 1)
+            )
+            if op.kind is OpKind.IVINC:
+                ivinc = op
+        elif op.kind is OpKind.CBR and ivinc is not None:
+            graph.add_edge(
+                DepEdge(ivinc.uid, op.uid, DepKind.FLOW, Via.CONTROL, 0)
+            )
+
+
+def _add_register_edges(loop: Loop, graph: DependenceGraph) -> None:
+    def_of: dict[VirtualRegister, Operation] = {}
+    for op in loop.body:
+        if op.dest is not None:
+            def_of[op.dest] = op
+
+    carried_exit_def: dict[VirtualRegister, Operation] = {}
+    for c in loop.carried:
+        if isinstance(c.exit, VirtualRegister) and c.exit in def_of:
+            carried_exit_def[c.entry] = def_of[c.exit]
+
+    for op in loop.body:
+        for src in op.registers_read():
+            producer = def_of.get(src)
+            if producer is not None and producer.uid != op.uid:
+                graph.add_edge(
+                    DepEdge(producer.uid, op.uid, DepKind.FLOW, Via.REGISTER, 0)
+                )
+                continue
+            carried_producer = carried_exit_def.get(src)
+            if carried_producer is not None:
+                graph.add_edge(
+                    DepEdge(
+                        carried_producer.uid, op.uid, DepKind.FLOW, Via.CARRIED, 1
+                    )
+                )
+
+
+def _memory_dep_kind(src: Operation, dst: Operation) -> DepKind:
+    if src.is_store and dst.is_load:
+        return DepKind.FLOW
+    if src.is_load and dst.is_store:
+        return DepKind.ANTI
+    return DepKind.OUTPUT
+
+
+def memory_lane_subscripts(op: Operation) -> list:
+    """The subscripts of every element a memory operation touches.
+
+    Vector memory operations span ``VL`` consecutive innermost elements
+    starting at their subscript; dependence tests must consider the whole
+    span, not just the first lane.
+    """
+    assert op.subscript is not None
+    if not op.is_vector:
+        return [op.subscript]
+    ty = op.dest.type if op.is_load else op.stored_value.type
+    length = getattr(ty, "length", 1)
+    return [op.subscript.plus_innermost(l) for l in range(length)]
+
+
+def _pairwise_distances(
+    a: Operation, b: Operation, trip_count: int | None
+) -> tuple[set[int], bool]:
+    """(exact distances, any-unknown) across all lane pairs of a and b."""
+    distances: set[int] = set()
+    unknown = False
+    for sa in memory_lane_subscripts(a):
+        for sb in memory_lane_subscripts(b):
+            result = test_subscripts(sa, sb, trip_count)
+            if isinstance(result, Independent):
+                continue
+            if isinstance(result, Distance):
+                distances.add(result.d)
+            else:
+                unknown = True
+    return distances, unknown
+
+
+def _add_memory_edges(
+    loop: Loop, graph: DependenceGraph, trip_count: int | None
+) -> None:
+    mem_ops = [op for op in loop.body if op.kind.is_memory]
+    for i, a in enumerate(mem_ops):
+        for b in mem_ops[i:]:
+            if a.array != b.array:
+                continue
+            if a.is_load and b.is_load:
+                continue
+            distances, unknown = _pairwise_distances(a, b, trip_count)
+            if unknown:
+                # Conservative cycle that serializes the pair.
+                if a.uid == b.uid:
+                    graph.add_edge(
+                        DepEdge(
+                            a.uid,
+                            a.uid,
+                            _memory_dep_kind(a, a),
+                            Via.MEMORY,
+                            1,
+                            exact=False,
+                        )
+                    )
+                else:
+                    graph.add_edge(
+                        DepEdge(
+                            a.uid,
+                            b.uid,
+                            _memory_dep_kind(a, b),
+                            Via.MEMORY,
+                            0,
+                            exact=False,
+                        )
+                    )
+                    graph.add_edge(
+                        DepEdge(
+                            b.uid,
+                            a.uid,
+                            _memory_dep_kind(b, a),
+                            Via.MEMORY,
+                            1,
+                            exact=False,
+                        )
+                    )
+                continue
+            for d in sorted(distances):
+                if a.uid == b.uid:
+                    if d > 0:
+                        graph.add_edge(
+                            DepEdge(
+                                a.uid, a.uid, _memory_dep_kind(a, a), Via.MEMORY, d
+                            )
+                        )
+                    continue
+                if d > 0:
+                    graph.add_edge(
+                        DepEdge(a.uid, b.uid, _memory_dep_kind(a, b), Via.MEMORY, d)
+                    )
+                elif d < 0:
+                    graph.add_edge(
+                        DepEdge(b.uid, a.uid, _memory_dep_kind(b, a), Via.MEMORY, -d)
+                    )
+                else:
+                    # Same iteration: ordered by position in the body.
+                    graph.add_edge(
+                        DepEdge(a.uid, b.uid, _memory_dep_kind(a, b), Via.MEMORY, 0)
+                    )
+
+
+def _scc_safe_for_vectorization(
+    graph: DependenceGraph, members: set[int], vector_length: int
+) -> bool:
+    """Can operations inside this dependence cycle be vectorized?
+
+    Sound criterion (covers the paper's ``a[i+4] = a[i]`` example): every
+    loop-carried edge within the SCC must have an exact distance of at
+    least the vector length.  Then each carried dependence still spans at
+    least one *transformed* iteration after widening by ``VL``, and the
+    zero-distance edges inside the SCC follow body order, so emitting the
+    component's operations in program order preserves all dependences.
+    """
+    for uid in members:
+        for edge in graph.successors(uid):
+            if edge.dst not in members:
+                continue
+            if not edge.exact:
+                return False
+            if 1 <= edge.distance < vector_length:
+                return False
+    return True
+
+
+def analyze_loop(
+    loop: Loop,
+    vector_length: int,
+    trip_count: int | None = None,
+) -> LoopDependence:
+    """Full dependence analysis of ``loop`` for a given vector length."""
+    graph = build_dependence_graph(loop, trip_count)
+    sccs = tarjan_sccs(
+        graph.node_ids(), lambda n: (e.dst for e in graph.successors(n))
+    )
+    scc_of = scc_membership(sccs)
+
+    scc_safe: dict[int, bool] = {}
+    vectorizable: set[int] = set()
+    for op in loop.body:
+        if op.kind not in _VECTORIZABLE_KINDS:
+            continue
+        if op.kind.is_memory:
+            assert op.subscript is not None
+            if not op.subscript.is_unit_stride:
+                continue
+        scc_index = scc_of[op.uid]
+        members = set(sccs[scc_index])
+        on_cycle = len(members) > 1 or any(
+            e.dst == op.uid for e in graph.successors(op.uid)
+        )
+        if on_cycle:
+            if scc_index not in scc_safe:
+                scc_safe[scc_index] = _scc_safe_for_vectorization(
+                    graph, members, vector_length
+                )
+            if not scc_safe[scc_index]:
+                continue
+        vectorizable.add(op.uid)
+
+    return LoopDependence(
+        loop=loop,
+        graph=graph,
+        sccs=sccs,
+        scc_of=scc_of,
+        vectorizable=vectorizable,
+        vector_length=vector_length,
+    )

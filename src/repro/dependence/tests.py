@@ -1,0 +1,149 @@
+"""Array subscript dependence tests.
+
+Implements the classic single-loop dependence tests from the vectorizing
+compiler literature (Allen & Kennedy): ZIV, strong SIV (exact distance),
+and the GCD test for the general case, with an optional Banerjee-style
+bounds refinement when the trip count is known.
+
+A test between two references answers the question: do iterations ``i1``
+(executing reference 1) and ``i2`` (executing reference 2) ever touch the
+same element, and if so what is the iteration distance ``d = i2 - i1``?
+
+Results are one of:
+
+* :data:`INDEPENDENT` — no pair of iterations conflicts.
+* :class:`Distance` — conflicts exactly at distance ``d``.
+* :data:`UNKNOWN` — conflicts may occur at unknown (possibly all) distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ir.subscripts import AffineExpr, Subscript
+
+
+@dataclass(frozen=True)
+class Independent:
+    def __str__(self) -> str:
+        return "independent"
+
+
+@dataclass(frozen=True)
+class Unknown:
+    def __str__(self) -> str:
+        return "unknown"
+
+
+@dataclass(frozen=True)
+class Distance:
+    """Dependence exactly at iteration distance ``d = i2 - i1``.
+
+    Positive: reference 2 touches the location ``d`` iterations after
+    reference 1.  Negative: the conflict runs the other way.
+    """
+
+    d: int
+
+    def __str__(self) -> str:
+        return f"distance({self.d})"
+
+
+DimResult = Independent | Unknown | Distance
+
+INDEPENDENT = Independent()
+UNKNOWN = Unknown()
+
+
+def test_dimension(
+    e1: AffineExpr,
+    e2: AffineExpr,
+    trip_count: int | None = None,
+) -> DimResult:
+    """Dependence test for one subscript dimension."""
+    if not e1.symbols_match(e2):
+        # Different loop-invariant symbolic parts: could be anything.
+        return UNKNOWN
+
+    c1, o1 = e1.coeff, e1.offset
+    c2, o2 = e2.coeff, e2.offset
+
+    if c1 == 0 and c2 == 0:
+        # ZIV: both references hit a fixed element.
+        return UNKNOWN if o1 == o2 else INDEPENDENT
+
+    if c1 == c2:
+        # Strong SIV: c*(i1 - i2) = o2 - o1 -> exact distance.
+        delta = o1 - o2
+        if delta % c1 != 0:
+            return INDEPENDENT
+        d = delta // c1
+        if trip_count is not None and abs(d) >= trip_count:
+            return INDEPENDENT
+        return Distance(d)
+
+    # General case: c1*i1 + o1 = c2*i2 + o2 has integer solutions iff
+    # gcd(c1, c2) divides (o2 - o1).
+    g = math.gcd(abs(c1), abs(c2))
+    if g == 0:
+        return INDEPENDENT  # unreachable: both coeffs zero handled above
+    if (o2 - o1) % g != 0:
+        return INDEPENDENT
+    if trip_count is not None and _banerjee_infeasible(c1, o1, c2, o2, trip_count):
+        return INDEPENDENT
+    return UNKNOWN
+
+
+def _banerjee_infeasible(
+    c1: int, o1: int, c2: int, o2: int, trip_count: int
+) -> bool:
+    """Banerjee bounds check: is ``c1*i1 - c2*i2 = o2 - o1`` infeasible for
+    ``0 <= i1, i2 < trip_count``?"""
+    hi = trip_count - 1
+
+    # max/min of c*i over [0, hi]
+    def cmax(c: int) -> int:
+        return c * hi if c > 0 else 0
+
+    def cmin(c: int) -> int:
+        return c * hi if c < 0 else 0
+
+    target = o2 - o1
+    lo = cmin(c1) - cmax(c2)
+    up = cmax(c1) - cmin(c2)
+    return not (lo <= target <= up)
+
+
+def test_subscripts(
+    s1: Subscript,
+    s2: Subscript,
+    trip_count: int | None = None,
+) -> DimResult:
+    """Combine per-dimension tests into a whole-reference result.
+
+    A conflict requires every dimension to conflict for the *same* pair of
+    iterations, so exact distances from different dimensions must agree;
+    any independent dimension proves independence.
+    """
+    if s1.rank != s2.rank:
+        raise ValueError("subscript ranks differ for references to the same array")
+
+    exact: int | None = None
+    saw_unknown = False
+    for e1, e2 in zip(s1.dims, s2.dims):
+        result = test_dimension(e1, e2, trip_count)
+        if isinstance(result, Independent):
+            return INDEPENDENT
+        if isinstance(result, Distance):
+            if exact is None:
+                exact = result.d
+            elif exact != result.d:
+                return INDEPENDENT
+        else:
+            saw_unknown = True
+
+    if exact is not None:
+        return Distance(exact)
+    assert saw_unknown
+    return UNKNOWN

@@ -1,0 +1,39 @@
+"""Experiments reproducing the paper's tables and figures."""
+
+from repro.evaluation.experiments import (
+    BenchmarkEvaluation,
+    Evaluator,
+    LoopComparison,
+    Variant,
+    figure1_iis,
+)
+from repro.evaluation.tables import (
+    PAPER_FIGURE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    format_figure1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+)
+
+__all__ = [
+    "BenchmarkEvaluation",
+    "Evaluator",
+    "LoopComparison",
+    "PAPER_FIGURE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "Variant",
+    "figure1_iis",
+    "format_figure1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_table5",
+]

@@ -1,0 +1,71 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.evaluation              # everything (a few minutes)
+    python -m repro.evaluation figure1
+    python -m repro.evaluation table2 table3
+    python -m repro.evaluation table2 --benchmarks 101.tomcatv 171.swim
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evaluation.experiments import Evaluator, figure1_iis
+from repro.evaluation.tables import (
+    format_figure1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+)
+from repro.workloads.spec import BENCHMARK_NAMES
+
+EXPERIMENTS = ("figure1", "table2", "table3", "table4", "table5")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the paper's evaluation tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=EXPERIMENTS + ((),) and EXPERIMENTS,
+        default=list(EXPERIMENTS),
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=list(BENCHMARK_NAMES),
+        choices=list(BENCHMARK_NAMES),
+        help="restrict to a subset of benchmarks",
+    )
+    args = parser.parse_args(argv)
+    experiments = args.experiments or list(EXPERIMENTS)
+    names = tuple(args.benchmarks)
+
+    evaluator = Evaluator()
+    for experiment in experiments:
+        start = time.time()
+        if experiment == "figure1":
+            print(format_figure1(figure1_iis()))
+        elif experiment == "table2":
+            print(format_table2(evaluator.table2(names)))
+        elif experiment == "table3":
+            print(format_table3(evaluator.table3(names)))
+        elif experiment == "table4":
+            print(format_table4(evaluator.table4(names)))
+        elif experiment == "table5":
+            print(format_table5(evaluator.table5(names)))
+        print(f"[{experiment}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The loop DSL frontend: parse textual loop programs into loop IR."""
+
+from repro.frontend.ast import Program
+from repro.frontend.lexer import SyntaxErrorDSL, tokenize
+from repro.frontend.lowering import LoweringError, lower_program
+from repro.frontend.parser import parse_program
+from repro.ir.loop import Loop
+
+
+def parse_loop(source: str) -> Loop:
+    """Parse DSL source straight to verified loop IR."""
+    return lower_program(parse_program(source))
+
+
+__all__ = [
+    "Loop",
+    "LoweringError",
+    "Program",
+    "SyntaxErrorDSL",
+    "lower_program",
+    "parse_loop",
+    "parse_program",
+    "tokenize",
+]

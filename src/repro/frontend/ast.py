@@ -1,0 +1,139 @@
+"""Abstract syntax for the loop DSL.
+
+The language describes exactly what the backend consumes: one innermost
+counted loop over declared arrays, with loop-invariant parameters,
+loop-carried scalars, and affine subscripts.  A program looks like::
+
+    array x(1026), y(1026)
+    array flags(1024) : i64
+    param a = 2.5
+    carry s = 0.0
+    sym j
+
+    do i
+        t = x(i) * y(i+1)
+        y(i) = t + a
+        s = s + abs(t)
+    end
+
+    result s
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.types import ScalarType
+
+
+@dataclass(frozen=True)
+class Location:
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+@dataclass(frozen=True)
+class Expr:
+    location: Location
+
+
+@dataclass(frozen=True)
+class NumberExpr(Expr):
+    value: int | float
+
+
+@dataclass(frozen=True)
+class NameExpr(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRefExpr(Expr):
+    array: str
+    subscripts: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expr):
+    op: str  # "-", "abs", "sqrt"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expr):
+    op: str  # "+", "-", "*", "/", "min", "max"
+    left: Expr
+    right: Expr
+
+
+# ----------------------------------------------------------------------
+# Statements and declarations
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    name: str
+    dims: tuple[int, ...]
+    dtype: ScalarType
+    align: int
+    location: Location
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    name: str
+    value: int | float
+    dtype: ScalarType
+    location: Location
+
+
+@dataclass(frozen=True)
+class CarryDecl:
+    name: str
+    init: int | float
+    dtype: ScalarType
+    location: Location
+
+
+@dataclass(frozen=True)
+class SymDecl:
+    name: str
+    location: Location
+    default: int | None = None
+
+
+@dataclass(frozen=True)
+class ScalarAssign:
+    name: str
+    value: Expr
+    location: Location
+
+
+@dataclass(frozen=True)
+class ArrayAssign:
+    array: str
+    subscripts: tuple[Expr, ...]
+    value: Expr
+    location: Location
+
+
+Statement = ScalarAssign | ArrayAssign
+
+
+@dataclass
+class Program:
+    arrays: list[ArrayDecl] = field(default_factory=list)
+    params: list[ParamDecl] = field(default_factory=list)
+    carries: list[CarryDecl] = field(default_factory=list)
+    syms: list[SymDecl] = field(default_factory=list)
+    index: str = "i"
+    body: list[Statement] = field(default_factory=list)
+    results: list[str] = field(default_factory=list)
+    name: str = "loop"

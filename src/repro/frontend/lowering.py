@@ -1,0 +1,246 @@
+"""Lowering from DSL AST to loop IR.
+
+Names obey sequential semantics: each scalar assignment rebinds the name
+(internally a fresh single-assignment register), a ``carry`` name starts
+each iteration at its loop-carried entry value, and whatever a carry name
+is bound to at the end of the body is carried into the next iteration.
+Subscripts must be affine in the loop index, declared ``sym`` names, and
+integer constants.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast import (
+    ArrayAssign,
+    ArrayRefExpr,
+    BinaryExpr,
+    Expr,
+    Location,
+    NameExpr,
+    NumberExpr,
+    Program,
+    ScalarAssign,
+    UnaryExpr,
+)
+from repro.frontend.lexer import SyntaxErrorDSL
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop
+from repro.ir.subscripts import AffineExpr, Subscript
+from repro.ir.types import ScalarType
+from repro.ir.values import Constant, Operand, VirtualRegister
+
+
+class LoweringError(Exception):
+    """The program is syntactically valid but not lowerable."""
+
+    def __init__(self, message: str, location: Location):
+        super().__init__(f"{location}: {message}")
+        self.location = location
+
+
+_BINOPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "min": "minimum", "max": "maximum"}
+_UNOPS = {"-": "neg", "abs": "absolute", "sqrt": "sqrt"}
+
+
+class _Lowerer:
+    def __init__(self, program: Program):
+        self.program = program
+        self.builder = LoopBuilder(program.name)
+        self.env: dict[str, Operand] = {}
+        self.carry_names: set[str] = set()
+        self.sym_names = {s.name for s in program.syms}
+        self.array_types: dict[str, ScalarType] = {}
+
+    def lower(self) -> Loop:
+        b = self.builder
+        for decl in self.program.arrays:
+            b.array(decl.name, decl.dtype, decl.dims, decl.align)
+            self.array_types[decl.name] = decl.dtype
+        for decl in self.program.params:
+            self.env[decl.name] = b.carried(decl.name, decl.value, decl.dtype)
+        for decl in self.program.carries:
+            self.env[decl.name] = b.carried(decl.name, decl.init, decl.dtype)
+            self.carry_names.add(decl.name)
+        for sym in self.program.syms:
+            if sym.default is not None:
+                b.bind_symbol(sym.name, sym.default)
+
+        for statement in self.program.body:
+            if isinstance(statement, ScalarAssign):
+                self._lower_scalar_assign(statement)
+            else:
+                self._lower_array_assign(statement)
+
+        for name in self.carry_names:
+            value = self.env[name]
+            if isinstance(value, VirtualRegister) and value.name == name:
+                continue  # never reassigned
+            b.carry(name, value)
+
+        for name in self.program.results:
+            value = self.env.get(name)
+            if value is None:
+                raise LoweringError(
+                    f"result {name!r} is never defined", Location(0, 0)
+                )
+            if isinstance(value, Constant):
+                raise LoweringError(
+                    f"result {name!r} is a constant", Location(0, 0)
+                )
+            b.live_out(value)
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    def _lower_scalar_assign(self, stmt: ScalarAssign) -> None:
+        if stmt.name in self.sym_names or stmt.name == self.program.index:
+            raise LoweringError(
+                f"cannot assign to {stmt.name!r}", stmt.location
+            )
+        value = self._lower_expr(stmt.value)
+        if isinstance(value, Constant):
+            self.env[stmt.name] = value
+            return
+        self.env[stmt.name] = value
+
+    def _lower_array_assign(self, stmt: ArrayAssign) -> None:
+        if stmt.array not in self.array_types:
+            raise LoweringError(
+                f"array {stmt.array!r} is not declared", stmt.location
+            )
+        dtype = self.array_types[stmt.array]
+        subscript = self._lower_subscript(stmt.subscripts, stmt.location)
+        value = self._coerce(self._lower_expr(stmt.value), dtype, stmt.location)
+        if isinstance(value, Constant):
+            value = Constant(
+                float(value.value) if dtype.is_float else int(value.value), dtype
+            )
+        self.builder.store(stmt.array, subscript, value)
+
+    # ------------------------------------------------------------------
+
+    def _lower_expr(self, expr: Expr) -> Operand:
+        if isinstance(expr, NumberExpr):
+            if isinstance(expr.value, float):
+                return Constant(expr.value, ScalarType.F64)
+            return Constant(expr.value, ScalarType.I64)
+        if isinstance(expr, NameExpr):
+            if expr.name == self.program.index or expr.name in self.sym_names:
+                raise LoweringError(
+                    f"{expr.name!r} may only appear inside subscripts",
+                    expr.location,
+                )
+            value = self.env.get(expr.name)
+            if value is None:
+                raise LoweringError(
+                    f"name {expr.name!r} is not defined", expr.location
+                )
+            return value
+        if isinstance(expr, ArrayRefExpr):
+            if expr.array not in self.array_types:
+                raise LoweringError(
+                    f"array {expr.array!r} is not declared", expr.location
+                )
+            subscript = self._lower_subscript(expr.subscripts, expr.location)
+            return self.builder.load(expr.array, subscript)
+        if isinstance(expr, UnaryExpr):
+            operand = self._lower_expr(expr.operand)
+            if isinstance(operand, Constant) and expr.op == "-":
+                return Constant(-operand.value, operand.type)
+            method = getattr(self.builder, _UNOPS[expr.op])
+            return method(operand)
+        assert isinstance(expr, BinaryExpr)
+        left = self._lower_expr(expr.left)
+        right = self._lower_expr(expr.right)
+        left, right = self._unify(left, right, expr.location)
+        method = getattr(self.builder, _BINOPS[expr.op])
+        return method(left, right)
+
+    def _unify(
+        self, left: Operand, right: Operand, location: Location
+    ) -> tuple[Operand, Operand]:
+        lt, rt = left.type, right.type
+        if lt == rt:
+            return left, right
+        if isinstance(left, Constant):
+            return self._coerce(left, rt, location), right  # type: ignore[arg-type]
+        if isinstance(right, Constant):
+            return left, self._coerce(right, lt, location)  # type: ignore[arg-type]
+        raise LoweringError(
+            f"mixed operand types {lt} and {rt}; use explicit arrays/params "
+            "of one type",
+            location,
+        )
+
+    def _coerce(
+        self, value: Operand, dtype: ScalarType, location: Location
+    ) -> Operand:
+        if value.type == dtype:
+            return value
+        if isinstance(value, Constant):
+            if dtype.is_float:
+                return Constant(float(value.value), dtype)
+            if isinstance(value.value, int) or float(value.value).is_integer():
+                return Constant(int(value.value), dtype)
+        raise LoweringError(
+            f"cannot convert {value} to {dtype} implicitly", location
+        )
+
+    # ------------------------------------------------------------------
+
+    def _lower_subscript(
+        self, exprs: tuple[Expr, ...], location: Location
+    ) -> Subscript:
+        return Subscript(tuple(self._linearize(e) for e in exprs))
+
+    def _linearize(self, expr: Expr) -> AffineExpr:
+        coeff, offset, syms = self._linear_parts(expr)
+        return AffineExpr(coeff, offset, tuple(syms.items()))
+
+    def _linear_parts(self, expr: Expr) -> tuple[int, int, dict[str, int]]:
+        if isinstance(expr, NumberExpr):
+            if not isinstance(expr.value, int):
+                raise LoweringError(
+                    "subscripts must be integers", expr.location
+                )
+            return 0, expr.value, {}
+        if isinstance(expr, NameExpr):
+            if expr.name == self.program.index:
+                return 1, 0, {}
+            if expr.name in self.sym_names:
+                return 0, 0, {expr.name: 1}
+            raise LoweringError(
+                f"{expr.name!r} is not the loop index or a declared sym",
+                expr.location,
+            )
+        if isinstance(expr, UnaryExpr) and expr.op == "-":
+            c, o, s = self._linear_parts(expr.operand)
+            return -c, -o, {k: -v for k, v in s.items()}
+        if isinstance(expr, BinaryExpr) and expr.op in ("+", "-"):
+            lc, lo, ls = self._linear_parts(expr.left)
+            rc, ro, rs = self._linear_parts(expr.right)
+            sign = 1 if expr.op == "+" else -1
+            merged = dict(ls)
+            for k, v in rs.items():
+                merged[k] = merged.get(k, 0) + sign * v
+            return lc + sign * rc, lo + sign * ro, merged
+        if isinstance(expr, BinaryExpr) and expr.op == "*":
+            lc, lo, ls = self._linear_parts(expr.left)
+            rc, ro, rs = self._linear_parts(expr.right)
+            if lc == 0 and not ls:
+                scale, linear = lo, (rc, ro, rs)
+            elif rc == 0 and not rs:
+                scale, linear = ro, (lc, lo, ls)
+            else:
+                raise LoweringError(
+                    "subscripts must be affine in the loop index", expr.location
+                )
+            c, o, s = linear
+            return c * scale, o * scale, {k: v * scale for k, v in s.items()}
+        raise LoweringError(
+            "subscripts must be affine in the loop index", expr.location
+        )
+
+
+def lower_program(program: Program) -> Loop:
+    return _Lowerer(program).lower()

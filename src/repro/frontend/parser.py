@@ -1,0 +1,269 @@
+"""Recursive-descent parser for the loop DSL."""
+
+from __future__ import annotations
+
+from repro.frontend.ast import (
+    ArrayAssign,
+    ArrayDecl,
+    ArrayRefExpr,
+    BinaryExpr,
+    CarryDecl,
+    Expr,
+    NameExpr,
+    NumberExpr,
+    ParamDecl,
+    Program,
+    ScalarAssign,
+    SymDecl,
+    UnaryExpr,
+)
+from repro.frontend.lexer import (
+    SyntaxErrorDSL,
+    Token,
+    TokenKind,
+    tokenize,
+)
+from repro.ir.types import ScalarType
+
+_FUNCTIONS1 = ("abs", "sqrt")
+_FUNCTIONS2 = ("min", "max")
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, kind: TokenKind, text: str | None = None) -> bool:
+        tok = self.current
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind.value
+            raise SyntaxErrorDSL(
+                f"expected {want!r}, found {self.current.text!r}",
+                self.current.location,
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.accept(TokenKind.NEWLINE):
+            pass
+
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        self.skip_newlines()
+        while not self.check(TokenKind.EOF):
+            tok = self.current
+            if tok.kind is TokenKind.NAME and tok.text == "loop":
+                self.advance()
+                program.name = self.expect(TokenKind.NAME).text
+            elif tok.kind is TokenKind.NAME and tok.text == "array":
+                self.advance()
+                self._parse_array_decls(program)
+            elif tok.kind is TokenKind.NAME and tok.text == "param":
+                self.advance()
+                program.params.append(self._parse_param())
+            elif tok.kind is TokenKind.NAME and tok.text == "carry":
+                self.advance()
+                program.carries.append(self._parse_carry())
+            elif tok.kind is TokenKind.NAME and tok.text == "sym":
+                self.advance()
+                name = self.expect(TokenKind.NAME)
+                default = None
+                if self.accept(TokenKind.PUNCT, "="):
+                    default = self._parse_int()
+                program.syms.append(
+                    SymDecl(name.text, name.location, default)
+                )
+            elif tok.kind is TokenKind.NAME and tok.text == "do":
+                self.advance()
+                program.index = self.expect(TokenKind.NAME).text
+                self.expect(TokenKind.NEWLINE)
+                program.body = self._parse_body(program.index)
+            elif tok.kind is TokenKind.NAME and tok.text == "result":
+                self.advance()
+                program.results.append(self.expect(TokenKind.NAME).text)
+                while self.accept(TokenKind.PUNCT, ","):
+                    program.results.append(self.expect(TokenKind.NAME).text)
+            else:
+                raise SyntaxErrorDSL(
+                    f"unexpected token {tok.text!r}", tok.location
+                )
+            self.skip_newlines()
+        return program
+
+    def _parse_dtype(self) -> ScalarType:
+        if self.accept(TokenKind.PUNCT, ":"):
+            tok = self.expect(TokenKind.NAME)
+            if tok.text == "f64":
+                return ScalarType.F64
+            if tok.text == "i64":
+                return ScalarType.I64
+            raise SyntaxErrorDSL(f"unknown type {tok.text!r}", tok.location)
+        return ScalarType.F64
+
+    def _parse_array_decls(self, program: Program) -> None:
+        while True:
+            name = self.expect(TokenKind.NAME)
+            self.expect(TokenKind.PUNCT, "(")
+            dims = [self._parse_int()]
+            while self.accept(TokenKind.PUNCT, ","):
+                dims.append(self._parse_int())
+            self.expect(TokenKind.PUNCT, ")")
+            align = 0
+            if self.check(TokenKind.NAME, "align"):
+                self.advance()
+                align = self._parse_int()
+            dtype = self._parse_dtype()
+            program.arrays.append(
+                ArrayDecl(name.text, tuple(dims), dtype, align, name.location)
+            )
+            if not self.accept(TokenKind.PUNCT, ","):
+                break
+
+    def _parse_int(self) -> int:
+        tok = self.expect(TokenKind.NUMBER)
+        try:
+            return int(tok.text)
+        except ValueError as exc:
+            raise SyntaxErrorDSL(
+                f"expected an integer, found {tok.text!r}", tok.location
+            ) from exc
+
+    def _parse_number(self) -> int | float:
+        negative = self.accept(TokenKind.PUNCT, "-") is not None
+        tok = self.expect(TokenKind.NUMBER)
+        value: int | float
+        if any(c in tok.text for c in ".eE"):
+            value = float(tok.text)
+        else:
+            value = int(tok.text)
+        return -value if negative else value
+
+    def _parse_param(self) -> ParamDecl:
+        name = self.expect(TokenKind.NAME)
+        self.expect(TokenKind.PUNCT, "=")
+        value = self._parse_number()
+        dtype = self._parse_dtype()
+        if dtype.is_float:
+            value = float(value)
+        return ParamDecl(name.text, value, dtype, name.location)
+
+    def _parse_carry(self) -> CarryDecl:
+        name = self.expect(TokenKind.NAME)
+        self.expect(TokenKind.PUNCT, "=")
+        value = self._parse_number()
+        dtype = self._parse_dtype()
+        if dtype.is_float:
+            value = float(value)
+        return CarryDecl(name.text, value, dtype, name.location)
+
+    # ------------------------------------------------------------------
+
+    def _parse_body(self, index: str):
+        body = []
+        self.skip_newlines()
+        while not self.check(TokenKind.NAME, "end"):
+            if self.check(TokenKind.EOF):
+                raise SyntaxErrorDSL(
+                    "missing 'end' for loop body", self.current.location
+                )
+            body.append(self._parse_statement())
+            self.expect(TokenKind.NEWLINE)
+            self.skip_newlines()
+        self.expect(TokenKind.NAME, "end")
+        return body
+
+    def _parse_statement(self):
+        name = self.expect(TokenKind.NAME)
+        if self.accept(TokenKind.PUNCT, "("):
+            subscripts = [self._parse_expr()]
+            while self.accept(TokenKind.PUNCT, ","):
+                subscripts.append(self._parse_expr())
+            self.expect(TokenKind.PUNCT, ")")
+            self.expect(TokenKind.PUNCT, "=")
+            value = self._parse_expr()
+            return ArrayAssign(
+                name.text, tuple(subscripts), value, name.location
+            )
+        self.expect(TokenKind.PUNCT, "=")
+        return ScalarAssign(name.text, self._parse_expr(), name.location)
+
+    # Expression grammar: term (+|- term)*; term: factor (*|/ factor)*;
+    # factor: number | name | name(...) | func(...) | -factor | (expr)
+    def _parse_expr(self) -> Expr:
+        left = self._parse_term()
+        while self.check(TokenKind.PUNCT, "+") or self.check(TokenKind.PUNCT, "-"):
+            op = self.advance()
+            right = self._parse_term()
+            left = BinaryExpr(op.location, op.text, left, right)
+        return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while self.check(TokenKind.PUNCT, "*") or self.check(TokenKind.PUNCT, "/"):
+            op = self.advance()
+            right = self._parse_factor()
+            left = BinaryExpr(op.location, op.text, left, right)
+        return left
+
+    def _parse_factor(self) -> Expr:
+        tok = self.current
+        if self.accept(TokenKind.PUNCT, "-"):
+            return UnaryExpr(tok.location, "-", self._parse_factor())
+        if self.accept(TokenKind.PUNCT, "("):
+            expr = self._parse_expr()
+            self.expect(TokenKind.PUNCT, ")")
+            return expr
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            if any(c in tok.text for c in ".eE"):
+                return NumberExpr(tok.location, float(tok.text))
+            return NumberExpr(tok.location, int(tok.text))
+        if tok.kind is TokenKind.NAME:
+            self.advance()
+            if tok.text in _FUNCTIONS1 and self.accept(TokenKind.PUNCT, "("):
+                arg = self._parse_expr()
+                self.expect(TokenKind.PUNCT, ")")
+                return UnaryExpr(tok.location, tok.text, arg)
+            if tok.text in _FUNCTIONS2 and self.accept(TokenKind.PUNCT, "("):
+                a = self._parse_expr()
+                self.expect(TokenKind.PUNCT, ",")
+                bexpr = self._parse_expr()
+                self.expect(TokenKind.PUNCT, ")")
+                return BinaryExpr(tok.location, tok.text, a, bexpr)
+            if self.accept(TokenKind.PUNCT, "("):
+                subscripts = [self._parse_expr()]
+                while self.accept(TokenKind.PUNCT, ","):
+                    subscripts.append(self._parse_expr())
+                self.expect(TokenKind.PUNCT, ")")
+                return ArrayRefExpr(tok.location, tok.text, tuple(subscripts))
+            return NameExpr(tok.location, tok.text)
+        raise SyntaxErrorDSL(
+            f"unexpected token {tok.text!r} in expression", tok.location
+        )
+
+
+def parse_program(source: str) -> Program:
+    return Parser(source).parse_program()

@@ -1,0 +1,19 @@
+"""Functional IR interpreter used to verify that every compilation
+strategy preserves the original loop's semantics."""
+
+from repro.interp.interpreter import (
+    Interpreter,
+    InterpreterError,
+    LoopRunResult,
+    run_loop,
+)
+from repro.interp.memory import MemoryImage, memory_for_loop
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "LoopRunResult",
+    "MemoryImage",
+    "memory_for_loop",
+    "run_loop",
+]

@@ -1,0 +1,85 @@
+"""Flat memory image for functional loop execution."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.loop import ArrayInfo, Loop
+from repro.ir.types import ScalarType
+
+
+@dataclass
+class MemoryImage:
+    """Named flat arrays of Python scalars."""
+
+    arrays: dict[str, list] = field(default_factory=dict)
+    shapes: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    dtypes: dict[str, ScalarType] = field(default_factory=dict)
+
+    def declare(self, info: ArrayInfo) -> None:
+        if info.name in self.arrays:
+            return
+        fill = 0 if info.dtype.is_integer else 0.0
+        self.arrays[info.name] = [fill] * info.size
+        self.shapes[info.name] = info.dim_sizes
+        self.dtypes[info.name] = info.dtype
+
+    def declare_all(self, loop: Loop) -> None:
+        for info in loop.arrays.values():
+            self.declare(info)
+
+    def load(self, array: str, flat_index: int):
+        data = self.arrays[array]
+        if not 0 <= flat_index < len(data):
+            raise IndexError(
+                f"load from {array}[{flat_index}] out of bounds (size {len(data)})"
+            )
+        return data[flat_index]
+
+    def store(self, array: str, flat_index: int, value) -> None:
+        data = self.arrays[array]
+        if not 0 <= flat_index < len(data):
+            raise IndexError(
+                f"store to {array}[{flat_index}] out of bounds (size {len(data)})"
+            )
+        data[flat_index] = value
+
+    def copy(self) -> MemoryImage:
+        return MemoryImage(
+            arrays={k: list(v) for k, v in self.arrays.items()},
+            shapes=dict(self.shapes),
+            dtypes=dict(self.dtypes),
+        )
+
+    def randomize(self, seed: int, low: float = -4.0, high: float = 4.0) -> None:
+        """Deterministic random contents (integers get small magnitudes,
+        floats short decimal values so reductions stay exactly comparable)."""
+        rng = random.Random(seed)
+        for name, data in self.arrays.items():
+            dtype = self.dtypes[name]
+            if dtype.is_integer:
+                self.arrays[name] = [rng.randrange(-8, 9) for _ in data]
+            else:
+                self.arrays[name] = [
+                    round(rng.uniform(low, high), 3) for _ in data
+                ]
+
+    SCRATCH_PREFIXES = ("xfer.", "exp.", "spill.")
+
+    def snapshot_user_arrays(self) -> dict[str, list]:
+        """Array contents excluding compiler-introduced buffers (transfer
+        scratch and scalar-expansion temporaries)."""
+        return {
+            name: list(data)
+            for name, data in self.arrays.items()
+            if not name.startswith(self.SCRATCH_PREFIXES)
+        }
+
+
+def memory_for_loop(loop: Loop, seed: int | None = None) -> MemoryImage:
+    memory = MemoryImage()
+    memory.declare_all(loop)
+    if seed is not None:
+        memory.randomize(seed)
+    return memory

@@ -1,0 +1,49 @@
+"""Loop intermediate representation.
+
+The IR models exactly what the paper's backend pass consumes: an innermost
+counted loop of straight-line operations over virtual registers and
+affine-subscripted arrays, with explicit loop-carried scalars.
+"""
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import ArrayInfo, CarriedScalar, Loop
+from repro.ir.operations import Operation, OpKind
+from repro.ir.printer import format_loop
+from repro.ir.subscripts import AffineExpr, Subscript
+from repro.ir.types import IRType, ScalarType, VectorType, element_type, is_vector_type
+from repro.ir.values import (
+    Constant,
+    Operand,
+    VirtualRegister,
+    const_f64,
+    const_i64,
+    lane_register,
+    vector_register,
+)
+from repro.ir.verifier import VerificationError, verify_loop
+
+__all__ = [
+    "AffineExpr",
+    "ArrayInfo",
+    "CarriedScalar",
+    "Constant",
+    "IRType",
+    "Loop",
+    "LoopBuilder",
+    "Operand",
+    "Operation",
+    "OpKind",
+    "ScalarType",
+    "Subscript",
+    "VectorType",
+    "VerificationError",
+    "VirtualRegister",
+    "const_f64",
+    "const_i64",
+    "element_type",
+    "format_loop",
+    "is_vector_type",
+    "lane_register",
+    "vector_register",
+    "verify_loop",
+]

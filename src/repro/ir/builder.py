@@ -1,0 +1,228 @@
+"""Fluent construction of loop IR.
+
+:class:`LoopBuilder` is the programmatic frontend: the loop DSL parser
+lowers onto it, the workload kernels use it directly, and tests use it to
+construct precise scenarios.  It enforces single assignment and type
+agreement at construction time so that downstream passes can assume a
+well-formed loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.loop import ArrayInfo, CarriedScalar, Loop
+from repro.ir.operations import Operation, OpKind
+from repro.ir.subscripts import AffineExpr, Subscript
+from repro.ir.types import ScalarType
+from repro.ir.values import Constant, Operand, VirtualRegister
+
+
+class LoopBuilder:
+    """Builds a :class:`~repro.ir.loop.Loop` one operation at a time."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._body: list[Operation] = []
+        self._arrays: dict[str, ArrayInfo] = {}
+        self._carried: dict[str, CarriedScalar] = {}
+        self._live_out: list[VirtualRegister] = []
+        self._symbols: dict[str, int] = {}
+        self._defined: set[str] = set()
+        self._temp_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Declarations
+
+    def array(
+        self,
+        name: str,
+        dtype: ScalarType = ScalarType.F64,
+        dim_sizes: tuple[int, ...] = (1024,),
+        alignment_offset: int = 0,
+    ) -> str:
+        if name in self._arrays:
+            raise ValueError(f"array {name!r} already declared")
+        self._arrays[name] = ArrayInfo(name, dtype, dim_sizes, alignment_offset)
+        return name
+
+    def carried(
+        self, name: str, init: int | float, dtype: ScalarType = ScalarType.F64
+    ) -> VirtualRegister:
+        """Declare a loop-carried scalar; returns its entry register."""
+        if name in self._carried:
+            raise ValueError(f"carried scalar {name!r} already declared")
+        entry = VirtualRegister(name, dtype)
+        # Until carry() is called the scalar carries itself (constant).
+        self._carried[name] = CarriedScalar(entry, entry, init)
+        return entry
+
+    def carry(self, name: str, exit_value: Operand) -> None:
+        """Set the value carried into the next iteration for ``name``."""
+        if name not in self._carried:
+            raise ValueError(f"carried scalar {name!r} not declared")
+        entry = self._carried[name].entry
+        if exit_value.type != entry.type:
+            raise TypeError(
+                f"carried scalar {name!r} has type {entry.type}, "
+                f"exit value has {exit_value.type}"
+            )
+        self._carried[name] = CarriedScalar(entry, exit_value, self._carried[name].init)
+
+    def live_out(self, *regs: VirtualRegister) -> None:
+        self._live_out.extend(regs)
+
+    def bind_symbol(self, name: str, value: int) -> None:
+        """Default interpreter binding for a symbolic subscript term."""
+        self._symbols[name] = value
+
+    # ------------------------------------------------------------------
+    # Subscript helpers
+
+    @staticmethod
+    def idx(coeff: int = 1, offset: int = 0, **symbols: int) -> Subscript:
+        return Subscript.linear(coeff, offset, **symbols)
+
+    @staticmethod
+    def idx2(outer: AffineExpr, inner: AffineExpr) -> Subscript:
+        return Subscript.of(outer, inner)
+
+    @staticmethod
+    def aff(coeff: int = 0, offset: int = 0, **symbols: int) -> AffineExpr:
+        return AffineExpr.of(coeff, offset, **symbols)
+
+    # ------------------------------------------------------------------
+    # Operations
+
+    def _fresh(self, dtype: ScalarType, stem: str = "t") -> VirtualRegister:
+        return VirtualRegister(f"{stem}{next(self._temp_ids)}", dtype)
+
+    def _emit(self, op: Operation) -> Operation:
+        if op.dest is not None:
+            if op.dest.name in self._defined:
+                raise ValueError(f"register {op.dest} assigned more than once")
+            if op.dest.name in self._carried:
+                raise ValueError(
+                    f"register {op.dest} is a carried-scalar entry; "
+                    "use carry() to update it"
+                )
+            self._defined.add(op.dest.name)
+        self._body.append(op)
+        return op
+
+    def load(
+        self,
+        array: str,
+        subscript: Subscript,
+        name: str | None = None,
+    ) -> VirtualRegister:
+        info = self._require_array(array, subscript)
+        dest = (
+            VirtualRegister(name, info.dtype)
+            if name
+            else self._fresh(info.dtype)
+        )
+        self._emit(
+            Operation(
+                OpKind.LOAD, info.dtype, dest=dest, array=array, subscript=subscript
+            )
+        )
+        return dest
+
+    def store(self, array: str, subscript: Subscript, value: Operand) -> None:
+        info = self._require_array(array, subscript)
+        if value.type != info.dtype:
+            raise TypeError(
+                f"store of {value.type} value into {info.dtype} array {array!r}"
+            )
+        self._emit(
+            Operation(
+                OpKind.STORE,
+                info.dtype,
+                srcs=(value,),
+                array=array,
+                subscript=subscript,
+            )
+        )
+
+    def _binary(
+        self, kind: OpKind, a: Operand, b: Operand, name: str | None
+    ) -> VirtualRegister:
+        if a.type != b.type:
+            raise TypeError(f"{kind.value} operand types differ: {a.type} vs {b.type}")
+        if not isinstance(a.type, ScalarType):
+            raise TypeError("builder emits scalar operations only")
+        dest = VirtualRegister(name, a.type) if name else self._fresh(a.type)
+        self._emit(Operation(kind, a.type, dest=dest, srcs=(a, b)))
+        return dest
+
+    def _unary(self, kind: OpKind, a: Operand, name: str | None) -> VirtualRegister:
+        if not isinstance(a.type, ScalarType):
+            raise TypeError("builder emits scalar operations only")
+        dest = VirtualRegister(name, a.type) if name else self._fresh(a.type)
+        self._emit(Operation(kind, a.type, dest=dest, srcs=(a,)))
+        return dest
+
+    def add(self, a: Operand, b: Operand, name: str | None = None) -> VirtualRegister:
+        return self._binary(OpKind.ADD, a, b, name)
+
+    def sub(self, a: Operand, b: Operand, name: str | None = None) -> VirtualRegister:
+        return self._binary(OpKind.SUB, a, b, name)
+
+    def mul(self, a: Operand, b: Operand, name: str | None = None) -> VirtualRegister:
+        return self._binary(OpKind.MUL, a, b, name)
+
+    def div(self, a: Operand, b: Operand, name: str | None = None) -> VirtualRegister:
+        return self._binary(OpKind.DIV, a, b, name)
+
+    def minimum(self, a: Operand, b: Operand, name: str | None = None) -> VirtualRegister:
+        return self._binary(OpKind.MIN, a, b, name)
+
+    def maximum(self, a: Operand, b: Operand, name: str | None = None) -> VirtualRegister:
+        return self._binary(OpKind.MAX, a, b, name)
+
+    def neg(self, a: Operand, name: str | None = None) -> VirtualRegister:
+        return self._unary(OpKind.NEG, a, name)
+
+    def absolute(self, a: Operand, name: str | None = None) -> VirtualRegister:
+        return self._unary(OpKind.ABS, a, name)
+
+    def sqrt(self, a: Operand, name: str | None = None) -> VirtualRegister:
+        return self._unary(OpKind.SQRT, a, name)
+
+    def copy(self, a: Operand, name: str | None = None) -> VirtualRegister:
+        return self._unary(OpKind.COPY, a, name)
+
+    def cvt(
+        self, a: Operand, to: ScalarType, name: str | None = None
+    ) -> VirtualRegister:
+        dest = VirtualRegister(name, to) if name else self._fresh(to)
+        self._emit(Operation(OpKind.CVT, to, dest=dest, srcs=(a,)))
+        return dest
+
+    # ------------------------------------------------------------------
+
+    def _require_array(self, array: str, subscript: Subscript) -> ArrayInfo:
+        if array not in self._arrays:
+            raise ValueError(f"array {array!r} not declared")
+        info = self._arrays[array]
+        if subscript.rank != len(info.dim_sizes):
+            raise ValueError(
+                f"array {array!r} has rank {len(info.dim_sizes)}, "
+                f"subscript has rank {subscript.rank}"
+            )
+        return info
+
+    def build(self) -> Loop:
+        from repro.ir.verifier import verify_loop
+
+        loop = Loop(
+            name=self.name,
+            body=tuple(self._body),
+            arrays=dict(self._arrays),
+            carried=tuple(self._carried.values()),
+            live_out=tuple(dict.fromkeys(self._live_out)),
+            symbols=dict(self._symbols),
+        )
+        verify_loop(loop)
+        return loop

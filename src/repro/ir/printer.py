@@ -1,0 +1,28 @@
+"""Textual rendering of loops and operations for debugging and docs."""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop
+
+
+def format_loop(loop: Loop) -> str:
+    lines = [f"loop {loop.name} (i += {loop.increment}):"]
+    for info in loop.arrays.values():
+        dims = "x".join(str(d) for d in info.dim_sizes)
+        extra = (
+            f" align+{info.alignment_offset}" if info.alignment_offset else ""
+        )
+        lines.append(f"  array {info.name}: {info.dtype}[{dims}]{extra}")
+    for c in loop.carried:
+        lines.append(f"  carried {c.entry} = {c.init}; next <- {c.exit}")
+    if loop.preheader:
+        lines.append("  preheader:")
+        for op in loop.preheader:
+            lines.append(f"    {op}")
+    lines.append("  body:")
+    for op in loop.body:
+        lines.append(f"    {op}")
+    if loop.live_out:
+        outs = ", ".join(str(r) for r in loop.live_out)
+        lines.append(f"  live-out: {outs}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Scalar and vector types for the loop IR.
+
+The machine modeled in the paper operates on 64-bit integer and floating
+point data, with 128-bit vector registers holding two 64-bit elements.
+We keep the type system small but explicit so that opcode selection,
+register-file accounting, and the interpreter can all dispatch on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ScalarType(enum.Enum):
+    """Element types supported by the IR."""
+
+    I64 = "i64"
+    F64 = "f64"
+    PRED = "pred"
+
+    @property
+    def is_integer(self) -> bool:
+        return self is ScalarType.I64
+
+    @property
+    def is_float(self) -> bool:
+        return self is ScalarType.F64
+
+    @property
+    def bits(self) -> int:
+        return 1 if self is ScalarType.PRED else 64
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class VectorType:
+    """A short vector of ``length`` elements of type ``element``."""
+
+    element: ScalarType
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 2:
+            raise ValueError(f"vector length must be >= 2, got {self.length}")
+
+    @property
+    def bits(self) -> int:
+        return self.element.bits * self.length
+
+    def __str__(self) -> str:
+        return f"<{self.length} x {self.element}>"
+
+
+IRType = ScalarType | VectorType
+
+
+def is_vector_type(ty: IRType) -> bool:
+    return isinstance(ty, VectorType)
+
+
+def element_type(ty: IRType) -> ScalarType:
+    """The scalar element type of ``ty`` (identity for scalars)."""
+    return ty.element if isinstance(ty, VectorType) else ty

@@ -1,0 +1,114 @@
+"""Structural and type invariants for loop IR.
+
+Passes may assume any loop they receive has passed :func:`verify_loop`;
+every transformation re-verifies its output in tests.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop
+from repro.ir.operations import Operation, OpKind
+from repro.ir.types import ScalarType
+from repro.ir.values import Constant, VirtualRegister
+
+
+class VerificationError(Exception):
+    """The loop violates an IR invariant."""
+
+
+def verify_loop(loop: Loop) -> None:
+    defined: set[VirtualRegister] = set()
+    available: set[VirtualRegister] = set(loop.carried_entries())
+
+    for op in loop.preheader:
+        _verify_op(loop, op, available, defined)
+    for op in loop.body:
+        _verify_op(loop, op, available, defined)
+
+    for c in loop.carried:
+        if isinstance(c.exit, VirtualRegister):
+            if c.exit not in available:
+                raise VerificationError(
+                    f"carried exit {c.exit} of {c.entry} is never defined"
+                )
+            if c.exit.type != c.entry.type:
+                raise VerificationError(
+                    f"carried scalar {c.entry} type mismatch with exit {c.exit}"
+                )
+
+    for reg in loop.live_out:
+        if reg not in available:
+            raise VerificationError(f"live-out register {reg} is never defined")
+
+    if loop.increment < 1:
+        raise VerificationError(f"loop increment must be >= 1, got {loop.increment}")
+
+
+def _verify_op(
+    loop: Loop,
+    op: Operation,
+    available: set[VirtualRegister],
+    defined: set[VirtualRegister],
+) -> None:
+    for src in op.registers_read():
+        if src not in available:
+            raise VerificationError(f"operation {op} reads undefined register {src}")
+
+    if op.kind.is_memory:
+        info = loop.arrays.get(op.array or "")
+        if info is None:
+            raise VerificationError(f"operation {op} references undeclared array")
+        if op.subscript is None or op.subscript.rank != len(info.dim_sizes):
+            raise VerificationError(
+                f"operation {op} subscript rank does not match array {info.name!r}"
+            )
+        elem = info.dtype
+        if op.dtype != elem:
+            raise VerificationError(
+                f"operation {op} dtype {op.dtype} does not match array "
+                f"element type {elem}"
+            )
+        if op.is_store:
+            value = op.stored_value
+            stored_elem = (
+                value.type.element
+                if not isinstance(value.type, ScalarType)
+                else value.type
+            )
+            if stored_elem != elem:
+                raise VerificationError(
+                    f"store {op} value type {value.type} does not match "
+                    f"array element type {elem}"
+                )
+
+    if op.kind.is_arith and op.kind is not OpKind.CVT:
+        for src in op.srcs:
+            src_elem = (
+                src.type.element
+                if not isinstance(src.type, ScalarType)
+                else src.type
+            )
+            if src_elem != op.dtype:
+                raise VerificationError(
+                    f"operation {op} operand {src} type does not match {op.dtype}"
+                )
+
+    if op.dest is not None:
+        if op.dest in defined:
+            raise VerificationError(f"register {op.dest} assigned more than once")
+        if op.dest in loop.carried_entries():
+            raise VerificationError(
+                f"register {op.dest} is a carried-scalar entry and cannot be "
+                "a destination"
+            )
+        dest_elem = (
+            op.dest.type.element
+            if not isinstance(op.dest.type, ScalarType)
+            else op.dest.type
+        )
+        if dest_elem != op.dtype:
+            raise VerificationError(
+                f"operation {op} destination type does not match opcode dtype"
+            )
+        defined.add(op.dest)
+        available.add(op.dest)

@@ -1,0 +1,37 @@
+"""Parametric VLIW machine descriptions."""
+
+from repro.machine.configs import (
+    aligned_machine,
+    dual_vector_unit_machine,
+    figure1_machine,
+    free_communication_machine,
+    paper_machine,
+    scalar_only_machine,
+    wide_vector_machine,
+)
+from repro.machine.machine import (
+    AlignmentPolicy,
+    CommunicationModel,
+    LatencyTable,
+    MachineDescription,
+    RegisterFiles,
+)
+from repro.machine.resources import OpcodeInfo, ResourceClass, ResourceUse
+
+__all__ = [
+    "AlignmentPolicy",
+    "CommunicationModel",
+    "LatencyTable",
+    "MachineDescription",
+    "OpcodeInfo",
+    "RegisterFiles",
+    "ResourceClass",
+    "ResourceUse",
+    "aligned_machine",
+    "dual_vector_unit_machine",
+    "figure1_machine",
+    "free_communication_machine",
+    "paper_machine",
+    "scalar_only_machine",
+    "wide_vector_machine",
+]

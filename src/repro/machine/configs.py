@@ -1,0 +1,131 @@
+"""Preset machine configurations.
+
+``paper_machine`` is the Table 1 processor; ``figure1_machine`` is the
+three-issue toy used by the motivating example.  The remaining factories
+produce the variants used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.machine.machine import (
+    AlignmentPolicy,
+    CommunicationModel,
+    LatencyTable,
+    MachineDescription,
+    RegisterFiles,
+)
+from repro.machine.resources import ResourceClass
+
+
+def paper_machine(
+    vector_length: int = 2,
+    alignment: AlignmentPolicy = AlignmentPolicy.ASSUME_MISALIGNED,
+    communication: CommunicationModel = CommunicationModel.THROUGH_MEMORY,
+) -> MachineDescription:
+    """The Table 1 processor: 6-issue VLIW, 4 int / 2 fp / 2 ls / 1 br
+    units, one shared int/fp vector unit, one vector merge unit, 2-wide
+    64-bit vectors."""
+    return MachineDescription(
+        name="paper-vliw",
+        resources=(
+            ResourceClass("slot", 6),
+            ResourceClass("int", 4),
+            ResourceClass("fp", 2),
+            ResourceClass("ls", 2),
+            ResourceClass("br", 1),
+            ResourceClass("vec", 1),
+            ResourceClass("vmerge", 1),
+        ),
+        vector_length=vector_length,
+        latencies=LatencyTable(),
+        register_files=RegisterFiles(),
+        communication=communication,
+        alignment=alignment,
+    )
+
+
+def figure1_machine() -> MachineDescription:
+    """The motivating-example machine: three issue slots as the only
+    compiler-visible resources, at most one vector instruction per cycle
+    (including vector memory operations), single-cycle latencies, and no
+    explicit scalar<->vector communication."""
+    return MachineDescription(
+        name="figure1-toy",
+        resources=(
+            ResourceClass("slot", 3),
+            ResourceClass("vec", 1),
+        ),
+        vector_length=2,
+        latencies=LatencyTable(
+            int_alu=1,
+            int_mul=1,
+            int_div=1,
+            fp_alu=1,
+            fp_mul=1,
+            fp_div=1,
+            load=1,
+            store=1,
+            branch=1,
+            merge=1,
+        ),
+        communication=CommunicationModel.FREE,
+        alignment=AlignmentPolicy.ASSUME_ALIGNED,
+        vector_mem_uses_vector_unit=True,
+        model_loop_overhead=False,
+    )
+
+
+def scalar_only_machine() -> MachineDescription:
+    """The Table 1 processor with the vector extension removed; used to
+    sanity-check that vectorization strategies degrade gracefully."""
+    base = paper_machine()
+    return replace(
+        base,
+        name="paper-vliw-scalar",
+        resources=tuple(
+            r for r in base.resources if r.name not in ("vec", "vmerge")
+        ),
+    )
+
+
+def wide_vector_machine(vector_length: int = 4) -> MachineDescription:
+    """Table 1 processor with a longer vector (ablation: as vector length
+    grows, full vectorization becomes increasingly competitive)."""
+    return replace(
+        paper_machine(vector_length=vector_length),
+        name=f"paper-vliw-vl{vector_length}",
+    )
+
+
+def dual_vector_unit_machine() -> MachineDescription:
+    """Table 1 processor with two vector units (ablation)."""
+    base = paper_machine()
+    resources = tuple(
+        ResourceClass("vec", 2) if r.name == "vec" else r for r in base.resources
+    )
+    return replace(base, name="paper-vliw-2vec", resources=resources)
+
+
+def aligned_machine(vector_length: int = 2) -> MachineDescription:
+    """Table 1 processor with perfect alignment information (Table 5)."""
+    return replace(
+        paper_machine(
+            vector_length=vector_length,
+            alignment=AlignmentPolicy.ASSUME_ALIGNED,
+        ),
+        name="paper-vliw-aligned",
+    )
+
+
+def free_communication_machine(vector_length: int = 2) -> MachineDescription:
+    """Table 1 processor with a free scalar<->vector operand network
+    (ablation: how much does through-memory communication cost?)."""
+    return replace(
+        paper_machine(
+            vector_length=vector_length,
+            communication=CommunicationModel.FREE,
+        ),
+        name="paper-vliw-freecomm",
+    )

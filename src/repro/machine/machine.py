@@ -1,0 +1,242 @@
+"""Parametric VLIW machine description.
+
+The description answers every question the backend asks:
+
+* which resources exist (:class:`~repro.machine.resources.ResourceClass`),
+* what a given IR operation costs in resources and latency
+  (:meth:`MachineDescription.opcode_info`),
+* how operands move between scalar and vector register files
+  (:class:`CommunicationModel`),
+* whether vector memory operations must be aligned and what misalignment
+  costs (:class:`AlignmentPolicy`), and
+* register-file capacities for allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.operations import Operation, OpKind
+from repro.ir.types import ScalarType
+from repro.machine.resources import OpcodeInfo, ResourceClass, ResourceUse
+
+
+class CommunicationModel(enum.Enum):
+    """How operands transfer between scalar and vector registers.
+
+    ``THROUGH_MEMORY`` matches the paper's evaluated machine: a
+    vector-to-scalar transfer is a vector store followed by ``VL`` scalar
+    loads; scalar-to-vector is ``VL`` scalar stores followed by a vector
+    load.  ``FREE`` matches the Figure 1 toy machine, where the example
+    assumes no explicit transfer operations are required.
+    """
+
+    THROUGH_MEMORY = "through_memory"
+    FREE = "free"
+
+
+class AlignmentPolicy(enum.Enum):
+    """Vector memory alignment regime.
+
+    ``ASSUME_MISALIGNED``: no alignment information; every vector memory
+    operation pays the merge cost (steady-state, with previous-iteration
+    reuse: one merge per vector memory op).  ``ASSUME_ALIGNED``: perfect
+    alignment information and aligned data; no merges.  ``ANALYZE``: use
+    per-array alignment offsets to decide per reference.
+    """
+
+    ASSUME_MISALIGNED = "assume_misaligned"
+    ASSUME_ALIGNED = "assume_aligned"
+    ANALYZE = "analyze"
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Operation latencies in cycles (Table 1 defaults)."""
+
+    int_alu: int = 1
+    int_mul: int = 3
+    int_div: int = 36
+    fp_alu: int = 4
+    fp_mul: int = 4
+    fp_div: int = 32
+    load: int = 3
+    store: int = 1
+    branch: int = 1
+    merge: int = 1
+
+
+@dataclass(frozen=True)
+class RegisterFiles:
+    """Architected register-file capacities (Table 1 defaults)."""
+
+    scalar_int: int = 128
+    scalar_fp: int = 128
+    vector_int: int = 64
+    vector_fp: int = 64
+    predicate: int = 64
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """A statically scheduled machine with optional short-vector support."""
+
+    name: str
+    resources: tuple[ResourceClass, ...]
+    vector_length: int
+    latencies: LatencyTable = LatencyTable()
+    register_files: RegisterFiles = RegisterFiles()
+    communication: CommunicationModel = CommunicationModel.THROUGH_MEMORY
+    alignment: AlignmentPolicy = AlignmentPolicy.ASSUME_MISALIGNED
+    # Resource class names used by opcode selection.
+    slot_resource: str = "slot"
+    int_resource: str = "int"
+    fp_resource: str = "fp"
+    mem_resource: str = "ls"
+    branch_resource: str = "br"
+    vector_resource: str = "vec"
+    merge_resource: str = "vmerge"
+    pipelined_divide: bool = False
+    # On some machines (the Figure 1 example) vector memory operations
+    # consume the per-cycle vector issue token rather than a load/store unit.
+    vector_mem_uses_vector_unit: bool = False
+    # Whether lowering materializes loop-control and addressing operations
+    # (pointer bumps, induction increment, loop-back branch).  The Figure 1
+    # toy machine abstracts these away.
+    model_loop_overhead: bool = True
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.resources]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate resource class names")
+        if self.vector_length < 2:
+            raise ValueError("vector length must be >= 2")
+
+    # ------------------------------------------------------------------
+
+    def resource_class(self, name: str) -> ResourceClass:
+        for r in self.resources:
+            if r.name == name:
+                return r
+        raise KeyError(f"machine {self.name!r} has no resource class {name!r}")
+
+    def has_resource(self, name: str) -> bool:
+        return any(r.name == name for r in self.resources)
+
+    @property
+    def supports_vectors(self) -> bool:
+        return self.has_resource(self.vector_resource)
+
+    @property
+    def needs_alignment_merges(self) -> bool:
+        return self.alignment is not AlignmentPolicy.ASSUME_ALIGNED
+
+    # ------------------------------------------------------------------
+    # Opcode selection
+
+    def opcode_info(self, op: Operation) -> OpcodeInfo:
+        """Resource requirements and latency for ``op`` on this machine."""
+        return self.opcode_info_for(op.kind, op.dtype, op.is_vector)
+
+    def opcode_info_for(
+        self, kind: OpKind, dtype: ScalarType, is_vector: bool
+    ) -> OpcodeInfo:
+        lat = self.latencies
+        uses: list[ResourceUse] = [ResourceUse(self.slot_resource)]
+
+        def add_unit(name: str, cycles: int = 1) -> None:
+            # Machines that expose only issue slots (the Figure 1 example)
+            # simply omit the functional-unit classes.
+            if self.has_resource(name):
+                uses.append(ResourceUse(name, cycles))
+
+        if kind.is_overhead:
+            if is_vector:
+                raise ValueError("overhead operations are never vector")
+            if kind is OpKind.CBR:
+                add_unit(self.branch_resource)
+                return OpcodeInfo("cbr", tuple(uses), lat.branch)
+            add_unit(self.int_resource)
+            return OpcodeInfo(kind.value, tuple(uses), lat.int_alu)
+
+        if kind in (OpKind.PACK, OpKind.EXTRACT):
+            if self.communication is not CommunicationModel.FREE:
+                raise ValueError(
+                    f"machine {self.name!r} transfers operands through "
+                    "memory; pack/extract are not available"
+                )
+            # A free operand network: no resources, no latency.
+            return OpcodeInfo(kind.value, (), 0)
+
+        if kind is OpKind.MERGE:
+            if not self.has_resource(self.merge_resource):
+                raise ValueError(
+                    f"machine {self.name!r} has no merge unit but a merge "
+                    "operation was selected"
+                )
+            uses.append(ResourceUse(self.merge_resource))
+            return OpcodeInfo("vmerge", tuple(uses), lat.merge)
+
+        mnemonic = ("v" if is_vector else "") + kind.value
+
+        if kind.is_memory:
+            add_unit(self.mem_resource)
+            if is_vector:
+                if not self.supports_vectors:
+                    raise ValueError(
+                        f"machine {self.name!r} has no vector support"
+                    )
+                if self.vector_mem_uses_vector_unit:
+                    uses.append(ResourceUse(self.vector_resource))
+            latency = lat.load if kind is OpKind.LOAD else lat.store
+            return OpcodeInfo(mnemonic, tuple(uses), latency)
+
+        # Arithmetic: scalar ops use int/fp units, vector ops the vector unit.
+        latency, blocking = self._arith_latency(kind, dtype)
+        cycles = blocking if not self.pipelined_divide else 1
+        if is_vector:
+            if not self.supports_vectors:
+                raise ValueError(f"machine {self.name!r} has no vector unit")
+            uses.append(ResourceUse(self.vector_resource, cycles))
+        elif dtype.is_float:
+            add_unit(self.fp_resource, cycles)
+        else:
+            add_unit(self.int_resource, cycles)
+        return OpcodeInfo(mnemonic, tuple(uses), latency)
+
+    def _arith_latency(self, kind: OpKind, dtype: ScalarType) -> tuple[int, int]:
+        """(latency, unit-busy cycles) for an arithmetic kind."""
+        lat = self.latencies
+        if dtype.is_float:
+            if kind in (OpKind.DIV, OpKind.SQRT):
+                return lat.fp_div, lat.fp_div
+            if kind is OpKind.MUL:
+                return lat.fp_mul, 1
+            return lat.fp_alu, 1
+        if kind in (OpKind.DIV, OpKind.SQRT):
+            return lat.int_div, lat.int_div
+        if kind is OpKind.MUL:
+            return lat.int_mul, 1
+        return lat.int_alu, 1
+
+    # ------------------------------------------------------------------
+    # Communication cost model (paper Section 3.2: transfers are explicit
+    # instructions that compete for resources).
+
+    def transfer_opcodes(
+        self, dtype: ScalarType, to_vector: bool
+    ) -> list[tuple[OpKind, ScalarType, bool]]:
+        """The (kind, dtype, is_vector) opcode sequence for one operand
+        transfer.  Empty when communication is free."""
+        if self.communication is CommunicationModel.FREE:
+            return []
+        if to_vector:
+            # VL scalar stores, then one vector load.
+            return [(OpKind.STORE, dtype, False)] * self.vector_length + [
+                (OpKind.LOAD, dtype, True)
+            ]
+        # One vector store, then VL scalar loads.
+        return [(OpKind.STORE, dtype, True)] + [
+            (OpKind.LOAD, dtype, False)
+        ] * self.vector_length

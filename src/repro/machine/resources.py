@@ -1,0 +1,57 @@
+"""Compiler-visible machine resources.
+
+A resource class (e.g. "int" with count 4) stands for a set of identical
+functional units; every member unit is a scheduling *alternative* in the
+sense of the paper's ``ALTERNATIVES(r)``.  Issue slots are modeled as a
+resource class like any other, so issue width constrains schedules through
+the same mechanism as functional units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceClass:
+    """``count`` identical units named ``name``."""
+
+    name: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"resource class {self.name!r} needs count >= 1")
+
+    def instances(self) -> list[str]:
+        return [f"{self.name}{i}" for i in range(self.count)]
+
+
+@dataclass(frozen=True)
+class ResourceUse:
+    """A requirement of one unit from ``resource`` for ``cycles`` cycles.
+
+    ``cycles > 1`` models a non-pipelined unit (divides): the unit is busy
+    and unavailable to other operations for that many consecutive cycles,
+    which is exactly how the paper's bin weights account for multi-cycle
+    reservations.
+    """
+
+    resource: str
+    cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ValueError("resource use must reserve >= 1 cycle")
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Resource requirements and latency of one machine opcode."""
+
+    mnemonic: str
+    uses: tuple[ResourceUse, ...]
+    latency: int
+
+    def total_cycles(self) -> int:
+        return sum(u.cycles for u in self.uses)

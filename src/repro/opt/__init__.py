@@ -1,0 +1,24 @@
+"""Dataflow optimizations applied before vectorization."""
+
+from repro.opt.pass_manager import MAX_PIPELINE_ROUNDS, optimize_loop
+from repro.opt.passes import (
+    STANDARD_PASSES,
+    algebraic_simplification,
+    common_subexpression_elimination,
+    constant_propagation,
+    copy_propagation,
+    dead_code_elimination,
+    loop_invariant_code_motion,
+)
+
+__all__ = [
+    "MAX_PIPELINE_ROUNDS",
+    "STANDARD_PASSES",
+    "algebraic_simplification",
+    "common_subexpression_elimination",
+    "constant_propagation",
+    "copy_propagation",
+    "dead_code_elimination",
+    "loop_invariant_code_motion",
+    "optimize_loop",
+]

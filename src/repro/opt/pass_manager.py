@@ -1,0 +1,44 @@
+"""Pass manager: run the standard optimization pipeline to fixpoint."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.ir.loop import Loop
+from repro.opt.passes import STANDARD_PASSES
+
+LoopPass = Callable[[Loop], Loop]
+
+MAX_PIPELINE_ROUNDS = 8
+
+
+def _fingerprint(loop: Loop) -> tuple:
+    return (
+        tuple(
+            (op.kind, op.dtype, op.dest, op.srcs, op.array, op.subscript)
+            for op in loop.body
+        ),
+        tuple(
+            (op.kind, op.dtype, op.dest, op.srcs, op.array, op.subscript)
+            for op in loop.preheader
+        ),
+        tuple((c.entry, c.exit, c.init) for c in loop.carried),
+        loop.live_out,
+    )
+
+
+def optimize_loop(
+    loop: Loop,
+    passes: Sequence[LoopPass] = STANDARD_PASSES,
+    max_rounds: int = MAX_PIPELINE_ROUNDS,
+) -> Loop:
+    """Apply the pass pipeline repeatedly until nothing changes."""
+    current = loop
+    previous = None
+    for _ in range(max_rounds):
+        previous = _fingerprint(current)
+        for p in passes:
+            current = p(current)
+        if _fingerprint(current) == previous:
+            break
+    return current

@@ -1,0 +1,245 @@
+"""Scalar dataflow optimizations.
+
+The paper applies a suite of standard optimizations before vectorization:
+register promotion, common subexpression elimination, copy propagation,
+constant propagation, dead code elimination, induction variable
+optimization, and loop-invariant code motion.  These are the equivalents
+for our IR (induction/addressing optimization happens structurally during
+lowering, which materializes one pointer bump per array — the base+offset
+end state the paper's unrolling achieves).
+
+Each pass takes and returns a verified :class:`~repro.ir.loop.Loop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.interp.interpreter import _binary, _unary
+from repro.ir.loop import Loop
+from repro.ir.operations import Operation, OpKind
+from repro.ir.types import ScalarType
+from repro.ir.values import Constant, Operand, VirtualRegister
+from repro.opt.rewrite import rewrite_loop
+
+
+def constant_propagation(loop: Loop) -> Loop:
+    """Fold operations whose sources are all constants and propagate the
+    results into their consumers."""
+    mapping: dict[VirtualRegister, Operand] = {}
+    body: list[Operation] = []
+    for op in loop.body:
+        srcs = tuple(
+            mapping.get(s, s) if isinstance(s, VirtualRegister) else s
+            for s in op.srcs
+        )
+        foldable = (
+            op.kind.is_arith
+            and op.kind is not OpKind.COPY
+            and op.dest is not None
+            and not op.is_vector
+            and srcs
+            and all(isinstance(s, Constant) for s in srcs)
+        )
+        if foldable:
+            values = [s.value for s in srcs]  # type: ignore[union-attr]
+            try:
+                if len(values) == 2:
+                    result = _binary(op.kind, op.dtype, values[0], values[1])
+                else:
+                    result = _unary(op.kind, op.dtype, values[0])
+            except Exception:
+                body.append(op if srcs == op.srcs else replace(op, srcs=srcs))
+                continue
+            if op.dtype.is_float:
+                result = float(result)
+            mapping[op.dest] = Constant(result, op.dtype)
+            continue
+        body.append(op if srcs == op.srcs else replace(op, srcs=srcs))
+    return rewrite_loop(loop, body, mapping)
+
+
+def copy_propagation(loop: Loop) -> Loop:
+    """Replace uses of ``copy`` results with the copied value; drop the
+    copies that become dead."""
+    mapping: dict[VirtualRegister, Operand] = {}
+    body: list[Operation] = []
+    for op in loop.body:
+        if (
+            op.kind is OpKind.COPY
+            and not op.is_vector
+            and op.dest is not None
+        ):
+            mapping[op.dest] = op.srcs[0]
+            continue
+        body.append(op)
+    return rewrite_loop(loop, body, mapping)
+
+
+def algebraic_simplification(loop: Loop) -> Loop:
+    """Identity/absorbing-element simplifications: ``x*1``, ``x+0``,
+    ``x-0``, ``x/1`` collapse to the operand; ``x*2.0`` becomes ``x+x``
+    (exact in IEEE arithmetic)."""
+    mapping: dict[VirtualRegister, Operand] = {}
+    body: list[Operation] = []
+
+    def is_const(s: Operand, value: float) -> bool:
+        return isinstance(s, Constant) and float(s.value) == value
+
+    for op in loop.body:
+        if op.dest is not None and op.kind.is_arith and not op.is_vector:
+            a = op.srcs[0] if op.srcs else None
+            b = op.srcs[1] if len(op.srcs) > 1 else None
+            if op.kind is OpKind.MUL and b is not None:
+                if is_const(b, 1.0):
+                    mapping[op.dest] = a
+                    continue
+                if is_const(a, 1.0):
+                    mapping[op.dest] = b
+                    continue
+                if is_const(b, 2.0) and op.dtype.is_float:
+                    body.append(
+                        replace(op, kind=OpKind.ADD, srcs=(a, a))
+                    )
+                    continue
+            if op.kind is OpKind.ADD and b is not None:
+                if is_const(b, 0.0):
+                    mapping[op.dest] = a
+                    continue
+                if is_const(a, 0.0):
+                    mapping[op.dest] = b
+                    continue
+            if op.kind is OpKind.SUB and b is not None and is_const(b, 0.0):
+                mapping[op.dest] = a
+                continue
+            if op.kind is OpKind.DIV and b is not None and is_const(b, 1.0):
+                mapping[op.dest] = a
+                continue
+        body.append(op)
+    return rewrite_loop(loop, body, mapping)
+
+
+def common_subexpression_elimination(loop: Loop) -> Loop:
+    """Reuse earlier identical pure computations and redundant loads.
+
+    Loads are value-numbered too; any store to the same array kills its
+    loads (subscript-insensitive, conservative).  Commutative operands
+    are normalized so ``a+b`` matches ``b+a``.
+    """
+    mapping: dict[VirtualRegister, Operand] = {}
+    available: dict[object, VirtualRegister] = {}
+    body: list[Operation] = []
+
+    def operand_key(s: Operand) -> object:
+        s = mapping.get(s, s) if isinstance(s, VirtualRegister) else s
+        if isinstance(s, Constant):
+            return ("const", s.type, s.value)
+        return ("reg", s.name)
+
+    for op in loop.body:
+        if op.is_store:
+            body.append(op)
+            # Kill loads from this array.
+            for key in [k for k in available if k[0] == "load" and k[1] == op.array]:
+                del available[key]
+            continue
+        if op.dest is None or op.kind.is_overhead or op.is_vector:
+            body.append(op)
+            continue
+        if op.is_load:
+            key: object = ("load", op.array, op.subscript)
+        elif op.kind.is_arith:
+            srcs = [operand_key(s) for s in op.srcs]
+            if op.kind.is_commutative:
+                srcs = sorted(srcs, key=repr)
+            key = ("arith", op.kind, op.dtype, tuple(srcs))
+        else:
+            body.append(op)
+            continue
+        if key in available:
+            mapping[op.dest] = available[key]
+            continue
+        available[key] = op.dest
+        body.append(op)
+    return rewrite_loop(loop, body, mapping)
+
+
+def dead_code_elimination(loop: Loop) -> Loop:
+    """Drop operations whose results are never observed.  Roots: stores,
+    live-outs, carried exits, and overhead operations."""
+    live: set[VirtualRegister] = set(loop.live_out)
+    for c in loop.carried:
+        if isinstance(c.exit, VirtualRegister):
+            live.add(c.exit)
+    needed: list[Operation] = []
+    for op in reversed(loop.body):
+        keep = (
+            op.is_store
+            or op.kind.is_overhead
+            or (op.dest is not None and op.dest in live)
+        )
+        if keep:
+            needed.append(op)
+            live.update(op.registers_read())
+    return rewrite_loop(loop, list(reversed(needed)))
+
+
+def loop_invariant_code_motion(loop: Loop) -> Loop:
+    """Hoist pure computations whose operands are loop-invariant, and
+    loads with loop-invariant subscripts from arrays the loop never
+    stores to, into the preheader."""
+    stored_arrays = {op.array for op in loop.body if op.is_store}
+    constant_entries = {c.entry for c in loop.carried if c.exit == c.entry}
+    invariant: set[VirtualRegister] = set(constant_entries)
+    for op in loop.preheader:
+        if op.dest is not None:
+            invariant.add(op.dest)
+
+    hoisted: list[Operation] = []
+    body: list[Operation] = []
+    changed = True
+    remaining = list(loop.body)
+    # Iterate to closure: hoisting one op can make its consumers invariant.
+    while changed:
+        changed = False
+        kept: list[Operation] = []
+        for op in remaining:
+            operands_invariant = all(
+                isinstance(s, Constant) or s in invariant for s in op.srcs
+            )
+            if (
+                op.kind.is_arith
+                and not op.is_vector
+                and op.dest is not None
+                and operands_invariant
+            ):
+                hoisted.append(op)
+                invariant.add(op.dest)
+                changed = True
+                continue
+            if (
+                op.is_load
+                and not op.is_vector
+                and op.subscript is not None
+                and op.subscript.is_loop_invariant
+                and op.array not in stored_arrays
+                and op.dest is not None
+            ):
+                hoisted.append(op)
+                invariant.add(op.dest)
+                changed = True
+                continue
+            kept.append(op)
+        remaining = kept
+    body = remaining
+    return rewrite_loop(loop, body, extra_preheader=hoisted)
+
+
+STANDARD_PASSES = (
+    constant_propagation,
+    copy_propagation,
+    algebraic_simplification,
+    common_subexpression_elimination,
+    loop_invariant_code_motion,
+    dead_code_elimination,
+)

@@ -1,0 +1,74 @@
+"""Shared rewriting machinery for the optimization passes.
+
+Passes are functional: they produce a new :class:`~repro.ir.loop.Loop`.
+The helpers here apply operand substitutions consistently across the
+body, carried exits, and live-outs, keeping the result verifier-clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.ir.loop import CarriedScalar, Loop
+from repro.ir.operations import Operation
+from repro.ir.values import Constant, Operand, VirtualRegister
+
+
+def substitute_operand(
+    operand: Operand, mapping: dict[VirtualRegister, Operand]
+) -> Operand:
+    seen: set[VirtualRegister] = set()
+    while isinstance(operand, VirtualRegister) and operand in mapping:
+        if operand in seen:
+            raise ValueError(f"cyclic substitution through {operand}")
+        seen.add(operand)
+        operand = mapping[operand]
+    return operand
+
+
+def rewrite_loop(
+    loop: Loop,
+    body: list[Operation],
+    mapping: dict[VirtualRegister, Operand] | None = None,
+    extra_preheader: list[Operation] | None = None,
+) -> Loop:
+    """Rebuild ``loop`` with a new body, applying ``mapping`` to every
+    operand position (body sources, carried exits, live-outs)."""
+    mapping = mapping or {}
+
+    def fix(op: Operation) -> Operation:
+        new_srcs = tuple(substitute_operand(s, mapping) for s in op.srcs)
+        if new_srcs != op.srcs:
+            return replace(op, srcs=new_srcs)
+        return op
+
+    new_body = tuple(fix(op) for op in body)
+    new_preheader = tuple(loop.preheader) + tuple(extra_preheader or ())
+    new_carried = []
+    for c in loop.carried:
+        exit_value = substitute_operand(c.exit, mapping)
+        new_carried.append(CarriedScalar(c.entry, exit_value, c.init))
+
+    new_live_out = []
+    for reg in loop.live_out:
+        value = substitute_operand(reg, mapping)
+        if isinstance(value, VirtualRegister):
+            new_live_out.append(value)
+        else:
+            # A live-out folded to a constant no longer needs a register.
+            continue
+
+    result = Loop(
+        name=loop.name,
+        body=new_body,
+        arrays=dict(loop.arrays),
+        carried=tuple(new_carried),
+        live_out=tuple(dict.fromkeys(new_live_out)),
+        preheader=new_preheader,
+        increment=loop.increment,
+        symbols=dict(loop.symbols),
+    )
+    from repro.ir.verifier import verify_loop
+
+    verify_loop(result)
+    return result

@@ -1,0 +1,51 @@
+"""Software pipelining: iterative modulo scheduling and supporting
+analyses (MII bounds, reservation tables, list scheduling)."""
+
+from repro.pipeline.codegen import (
+    KernelOnlyCode,
+    PredicatedOp,
+    RotatingRef,
+    generate_kernel_only_code,
+)
+from repro.pipeline.kernel import (
+    kernel_listing,
+    pipeline_listing,
+    prologue_epilogue_cycles,
+)
+from repro.pipeline.list_schedule import list_schedule_length
+from repro.pipeline.mve import (
+    MVEResult,
+    expanded_kernel_listing,
+    modulo_variable_expansion,
+    value_lifetimes,
+)
+from repro.pipeline.mii import edge_delay, minimum_ii, rec_mii, res_mii
+from repro.pipeline.reservation import ModuloReservationTable
+from repro.pipeline.scheduler import (
+    ModuloSchedule,
+    SchedulingError,
+    modulo_schedule,
+)
+
+__all__ = [
+    "KernelOnlyCode",
+    "MVEResult",
+    "PredicatedOp",
+    "RotatingRef",
+    "generate_kernel_only_code",
+    "ModuloReservationTable",
+    "ModuloSchedule",
+    "SchedulingError",
+    "edge_delay",
+    "expanded_kernel_listing",
+    "kernel_listing",
+    "list_schedule_length",
+    "modulo_variable_expansion",
+    "pipeline_listing",
+    "prologue_epilogue_cycles",
+    "value_lifetimes",
+    "minimum_ii",
+    "modulo_schedule",
+    "rec_mii",
+    "res_mii",
+]

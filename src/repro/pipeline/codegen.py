@@ -1,0 +1,183 @@
+"""Kernel-only code generation (Rau, Schlansker, Tirumalai — MICRO 1992).
+
+With rotating registers and predicated execution — the features the
+paper's Trimaran machine provides — a modulo-scheduled loop needs no
+explicit prologue or epilogue code: a single copy of the kernel executes
+throughout, with
+
+* every operation guarded by the rotating *stage predicate* of its
+  stage, so stage ``s`` only executes once ``s`` kernel iterations have
+  ramped up (and stops executing as the pipeline drains), and
+* every virtual register mapped to a *rotating register*: the file
+  rotates by one at each loop-back branch, so a value written to
+  ``r[b]`` is addressed as ``r[b + n]`` by a consumer that reads it
+  ``n`` kernel-boundary crossings later.
+
+This module performs that renaming and emits the kernel-only code
+structure: the rotation offset for a consumer of value ``v`` with
+dependence distance ``d`` is ``stage(consumer) + d - stage(producer)``,
+and the loop needs ``LC = trip-1`` / ``EC = stages`` count registers in
+the Itanium idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dependence.graph import DependenceGraph, DepKind, Via
+from repro.ir.operations import Operation
+from repro.ir.values import Constant, VirtualRegister
+from repro.pipeline.scheduler import ModuloSchedule
+
+
+@dataclass(frozen=True)
+class RotatingRef:
+    """A rotating-register reference: file, base index, rotation offset."""
+
+    file: str
+    base: int
+    offset: int
+
+    def render(self) -> str:
+        return f"{self.file}[{self.base}+{self.offset}]" if self.offset else f"{self.file}[{self.base}]"
+
+
+@dataclass(frozen=True)
+class PredicatedOp:
+    """One kernel operation with its stage predicate and rotating refs."""
+
+    op: Operation
+    stage: int
+    dest: RotatingRef | None
+    srcs: tuple[object, ...]  # RotatingRef | Constant | str (invariant)
+
+    def render(self) -> str:
+        parts = [f"(p{self.stage})", self.op.mnemonic()]
+        if self.dest is not None:
+            parts.append(self.dest.render() + " =")
+        rendered = []
+        for s in self.srcs:
+            if isinstance(s, RotatingRef):
+                rendered.append(s.render())
+            elif isinstance(s, Constant):
+                rendered.append(str(s.value))
+            else:
+                rendered.append(str(s))
+        if self.op.kind.is_memory:
+            rendered.append(f"{self.op.array}{self.op.subscript}")
+        return " ".join(parts) + (" " + ", ".join(rendered) if rendered else "")
+
+
+@dataclass
+class KernelOnlyCode:
+    """The complete kernel-only loop body."""
+
+    ii: int
+    stages: int
+    rows: list[list[PredicatedOp]]
+    register_bases: dict[VirtualRegister, RotatingRef]
+    max_offset: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def epilogue_count(self) -> int:
+        """EC: extra kernel executions needed to drain the pipeline."""
+        return self.stages
+
+    def rotating_registers_needed(self) -> dict[str, int]:
+        """Physical rotating registers per file: one base per value plus
+        the deepest rotation offset still referenced."""
+        needed: dict[str, int] = {}
+        per_file_values: dict[str, int] = {}
+        for ref in self.register_bases.values():
+            per_file_values[ref.file] = per_file_values.get(ref.file, 0) + 1
+        for file, count in per_file_values.items():
+            needed[file] = count + self.max_offset.get(file, 0)
+        return needed
+
+    def listing(self) -> str:
+        lines = [
+            f"kernel-only code: II={self.ii}, {self.stages} stages, "
+            f"EC={self.epilogue_count}, rotating registers "
+            f"{self.rotating_registers_needed()}"
+        ]
+        for cycle, row in enumerate(self.rows):
+            lines.append(f"  cycle {cycle}:")
+            for pop in row:
+                lines.append(f"    {pop.render()}")
+        lines.append("    br.ctop  # rotate registers and predicates")
+        return "\n".join(lines)
+
+
+def generate_kernel_only_code(
+    schedule: ModuloSchedule, graph: DependenceGraph
+) -> KernelOnlyCode:
+    """Rename a modulo schedule into kernel-only form."""
+    from repro.regalloc.allocator import register_file_of
+
+    loop = schedule.loop
+    ii = schedule.ii
+
+    # Assign each defined value a base index in its rotating file.
+    bases: dict[VirtualRegister, RotatingRef] = {}
+    counters: dict[str, int] = {}
+    for op in loop.body:
+        if op.dest is None:
+            continue
+        file = register_file_of(op.dest)
+        index = counters.get(file, 0)
+        counters[file] = index + 1
+        bases[op.dest] = RotatingRef(file, index, 0)
+
+    # Producer lookup for operand offset computation.
+    producer_of: dict[VirtualRegister, Operation] = {
+        op.dest: op for op in loop.body if op.dest is not None
+    }
+    carried_exit_producer: dict[VirtualRegister, tuple[Operation, int]] = {}
+    for c in loop.carried:
+        if isinstance(c.exit, VirtualRegister) and c.exit in producer_of:
+            carried_exit_producer[c.entry] = (producer_of[c.exit], 1)
+
+    max_offset: dict[str, int] = {}
+
+    def operand_ref(src, consumer_stage: int):
+        if isinstance(src, Constant):
+            return src
+        assert isinstance(src, VirtualRegister)
+        if src in producer_of:
+            producer, distance = producer_of[src], 0
+        elif src in carried_exit_producer:
+            producer, distance = carried_exit_producer[src]
+            src = producer.dest
+        else:
+            # Loop invariant (preheader value or never-updated carried
+            # scalar): lives in a static register, no rotation.
+            return f"%{src.name}"
+        producer_stage = schedule.stage_of(producer.uid)
+        offset = consumer_stage + distance - producer_stage
+        if offset < 0:
+            raise ValueError(
+                f"negative rotation offset for {src} "
+                f"(consumer stage {consumer_stage}, producer stage "
+                f"{producer_stage}, distance {distance})"
+            )
+        base = bases[src]
+        file = base.file
+        max_offset[file] = max(max_offset.get(file, 0), offset)
+        return RotatingRef(file, base.base, offset)
+
+    rows: list[list[PredicatedOp]] = [[] for _ in range(ii)]
+    for op in sorted(loop.body, key=lambda o: schedule.times[o.uid]):
+        stage = schedule.stage_of(op.uid)
+        dest = bases.get(op.dest) if op.dest is not None else None
+        srcs = tuple(operand_ref(s, stage) for s in op.srcs)
+        rows[schedule.times[op.uid] % ii].append(
+            PredicatedOp(op=op, stage=stage, dest=dest, srcs=srcs)
+        )
+
+    return KernelOnlyCode(
+        ii=ii,
+        stages=schedule.stage_count,
+        rows=rows,
+        register_bases=bases,
+        max_offset=max_offset,
+    )

@@ -1,0 +1,67 @@
+"""Rendering of software-pipeline code: kernel, prologue, epilogue.
+
+The modulo schedule is a kernel plus a stage count; the prologue and
+epilogue are the partially filled copies of the kernel that ramp the
+pipeline up and down.  These helpers render the schedules the way the
+paper's Figure 1 draws them — one row per cycle, one column per issue
+slot, each operation tagged with the original iteration it belongs to.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.scheduler import ModuloSchedule
+
+
+def kernel_listing(schedule: ModuloSchedule) -> str:
+    """The steady-state kernel, one row per cycle with stage tags."""
+    lines = [
+        f"kernel of {schedule.loop.name}: II={schedule.ii}, "
+        f"{schedule.stage_count} stages "
+        f"(ResMII {schedule.res_mii}, RecMII {schedule.rec_mii})"
+    ]
+    for cycle, row in enumerate(schedule.kernel_rows()):
+        ops = ", ".join(f"{op.mnemonic()}[s{stage}]" for op, stage in row)
+        lines.append(f"  cycle {cycle}: {ops if ops else '(empty)'}")
+    return "\n".join(lines)
+
+
+def pipeline_listing(schedule: ModuloSchedule, iterations: int) -> str:
+    """The unrolled pipeline for a small iteration count: every issue in
+    absolute time, annotated with its iteration index.  The ramp-up rows
+    (not all iterations present) are the prologue; the ramp-down rows are
+    the epilogue."""
+    ii = schedule.ii
+    by_cycle: dict[int, list[str]] = {}
+    for op in schedule.loop.body:
+        base = schedule.times[op.uid]
+        for j in range(iterations):
+            by_cycle.setdefault(base + j * ii, []).append(
+                f"{op.mnemonic()}({j})"
+            )
+    if not by_cycle:
+        return "(empty pipeline)"
+    last = max(by_cycle)
+    steady_from = (schedule.stage_count - 1) * ii
+    steady_to = iterations * ii
+    lines = [
+        f"pipeline of {schedule.loop.name} for {iterations} iterations "
+        f"(prologue < cycle {steady_from}, epilogue >= cycle {steady_to})"
+    ]
+    for cycle in range(last + 1):
+        ops = by_cycle.get(cycle, [])
+        phase = (
+            "prologue"
+            if cycle < steady_from
+            else "epilogue"
+            if cycle >= steady_to
+            else "kernel"
+        )
+        lines.append(f"  {cycle:4d} [{phase:>8}] " + ", ".join(ops))
+    return "\n".join(lines)
+
+
+def prologue_epilogue_cycles(schedule: ModuloSchedule) -> tuple[int, int]:
+    """The fill and drain overhead the timing model charges: each is
+    ``(stages - 1) * II`` cycles."""
+    overhead = (schedule.stage_count - 1) * schedule.ii
+    return overhead, overhead

@@ -1,0 +1,93 @@
+"""Minimum initiation interval bounds.
+
+``ResMII`` — the resource-constrained bound — is computed by the same
+greedy bin-packing the partitioner uses (each operation binned once with
+its actual opcode).  ``RecMII`` — the recurrence-constrained bound — is
+the smallest II admitting no positive-weight dependence cycle under edge
+weights ``delay(e) - II * distance(e)``, found by binary search with
+Bellman-Ford positive-cycle detection.
+"""
+
+from __future__ import annotations
+
+from repro.dependence.graph import DepEdge, DependenceGraph, DepKind
+from repro.ir.loop import Loop
+from repro.machine.machine import MachineDescription
+from repro.vectorize.bins import Bins, placement_freedom
+
+
+def edge_delay(
+    edge: DepEdge, graph: DependenceGraph, machine: MachineDescription
+) -> int:
+    """Minimum issue separation implied by a dependence edge.
+
+    Flow dependences wait for the producer's latency; anti dependences
+    allow same-cycle issue; output dependences require one cycle so the
+    later write wins.
+    """
+    if edge.kind is DepKind.FLOW:
+        return machine.opcode_info(graph.ops[edge.src]).latency
+    if edge.kind is DepKind.ANTI:
+        return 0
+    return 1
+
+
+def res_mii(loop: Loop, machine: MachineDescription) -> int:
+    """Resource-constrained minimum II of a (transformed) loop body."""
+    bins = Bins(machine)
+    ordered = sorted(
+        loop.body,
+        key=lambda op: placement_freedom(machine, machine.opcode_info(op)),
+    )
+    for op in ordered:
+        bins.reserve_least_used(machine.opcode_info(op), ("op", op.uid))
+    return max(1, bins.high_water_mark())
+
+
+def _has_positive_cycle(
+    graph: DependenceGraph, machine: MachineDescription, ii: int
+) -> bool:
+    """Bellman-Ford longest-path relaxation: does any cycle have positive
+    total weight ``delay - ii*distance``?"""
+    nodes = graph.node_ids()
+    dist = {n: 0 for n in nodes}
+    weights = [
+        (e.src, e.dst, edge_delay(e, graph, machine) - ii * e.distance)
+        for e in graph.edges
+    ]
+    for _ in range(len(nodes)):
+        changed = False
+        for src, dst, w in weights:
+            if dist[src] + w > dist[dst]:
+                dist[dst] = dist[src] + w
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def rec_mii(graph: DependenceGraph, machine: MachineDescription) -> int:
+    """Recurrence-constrained minimum II."""
+    if not graph.edges:
+        return 1
+    lo, hi = 1, 1
+    max_delay = max(edge_delay(e, graph, machine) for e in graph.edges)
+    hi = max(1, max_delay * len(graph.ops))
+    if _has_positive_cycle(graph, machine, hi):
+        raise RuntimeError("dependence graph has a zero-distance cycle")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(graph, machine, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def minimum_ii(
+    loop: Loop, graph: DependenceGraph, machine: MachineDescription
+) -> tuple[int, int, int]:
+    """(MII, ResMII, RecMII)."""
+    res = res_mii(loop, machine)
+    rec = rec_mii(graph, machine)
+    return max(res, rec), res, rec

@@ -1,0 +1,98 @@
+"""Modulo reservation table.
+
+Resource conflicts in a modulo schedule recur every II cycles, so the
+table has II rows; an operation issued at cycle ``t`` reserves its
+resources in row ``t mod II``.  Multi-cycle reservations (non-pipelined
+divides) occupy consecutive rows.  Each resource class offers its member
+instances as alternatives; placement picks free instances and remembers
+them so eviction can release exactly what an operation held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.operations import Operation
+from repro.machine.machine import MachineDescription
+
+
+@dataclass
+class ModuloReservationTable:
+    machine: MachineDescription
+    ii: int
+    # (resource instance, row) -> holder uid
+    table: dict[tuple[str, int], int] = field(default_factory=dict)
+    held: dict[int, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def _candidate_cells(
+        self, instance: str, cycle: int, cycles: int
+    ) -> list[tuple[str, int]]:
+        return [(instance, (cycle + k) % self.ii) for k in range(cycles)]
+
+    def _find_instances(
+        self, op: Operation, cycle: int
+    ) -> list[tuple[str, int]] | None:
+        """Free cells for every resource the op needs, or None."""
+        info = self.machine.opcode_info(op)
+        chosen: list[tuple[str, int]] = []
+        taken: set[tuple[str, int]] = set()
+        for use in info.uses:
+            if use.cycles > self.ii:
+                return None  # cannot fit a reservation longer than II
+            rc = self.machine.resource_class(use.resource)
+            placed = False
+            for instance in rc.instances():
+                cells = self._candidate_cells(instance, cycle, use.cycles)
+                if any(c in self.table or c in taken for c in cells):
+                    continue
+                chosen.extend(cells)
+                taken.update(cells)
+                placed = True
+                break
+            if not placed:
+                return None
+        return chosen
+
+    def fits(self, op: Operation, cycle: int) -> bool:
+        return self._find_instances(op, cycle) is not None
+
+    def place(self, op: Operation, cycle: int) -> None:
+        cells = self._find_instances(op, cycle)
+        if cells is None:
+            raise ValueError(f"no free resources for {op} at cycle {cycle}")
+        for cell in cells:
+            self.table[cell] = op.uid
+        self.held[op.uid] = cells
+
+    def conflicting_holders(self, op: Operation, cycle: int) -> set[int]:
+        """Uids holding resources the op would need at ``cycle``, choosing
+        for each resource class the alternative displacing the fewest
+        holders."""
+        info = self.machine.opcode_info(op)
+        holders: set[int] = set()
+        for use in info.uses:
+            rc = self.machine.resource_class(use.resource)
+            best: set[int] | None = None
+            for instance in rc.instances():
+                cells = self._candidate_cells(instance, cycle, use.cycles)
+                current = {self.table[c] for c in cells if c in self.table}
+                if best is None or len(current) < len(best):
+                    best = current
+                if not current:
+                    break
+            holders.update(best or set())
+        return holders
+
+    def place_evicting(self, op: Operation, cycle: int) -> set[int]:
+        """Place the op at ``cycle``, evicting whatever stands in the way.
+        Returns the evicted uids."""
+        evicted = self.conflicting_holders(op, cycle)
+        for uid in evicted:
+            self.remove(uid)
+        self.place(op, cycle)
+        return evicted
+
+    def remove(self, uid: int) -> None:
+        for cell in self.held.pop(uid, []):
+            if self.table.get(cell) == uid:
+                del self.table[cell]

@@ -1,0 +1,256 @@
+"""Iterative modulo scheduling (Rau, HPL-94-115).
+
+For each candidate II starting at MII = max(ResMII, RecMII), operations
+are scheduled highest-priority-first (priority = height in the
+II-weighted dependence graph).  Each operation is placed at the earliest
+start consistent with its scheduled predecessors, scanning II consecutive
+cycles for a resource-feasible slot; when none exists the operation is
+force-placed, evicting resource conflicts and unscheduling dependence
+violators.  A budget bounds the total number of placements; exhausting it
+moves on to II+1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.dependence.graph import DependenceGraph
+from repro.ir.loop import Loop
+from repro.ir.operations import Operation
+from repro.machine.machine import MachineDescription
+from repro.pipeline.mii import edge_delay, minimum_ii
+from repro.pipeline.reservation import ModuloReservationTable
+
+
+class SchedulingError(Exception):
+    """No modulo schedule found within the II / budget limits."""
+
+
+@dataclass
+class ModuloSchedule:
+    """A modulo schedule for one loop body."""
+
+    loop: Loop
+    machine: MachineDescription
+    ii: int
+    times: dict[int, int]
+    res_mii: int
+    rec_mii: int
+    attempts: int
+
+    @property
+    def mii(self) -> int:
+        return max(self.res_mii, self.rec_mii)
+
+    @property
+    def stage_count(self) -> int:
+        if not self.times:
+            return 1
+        return max(t // self.ii for t in self.times.values()) + 1
+
+    def stage_of(self, uid: int) -> int:
+        return self.times[uid] // self.ii
+
+    def kernel_rows(self) -> list[list[tuple[Operation, int]]]:
+        """Operations by kernel row: ``rows[c]`` lists (op, stage) pairs
+        issued at kernel cycle ``c``."""
+        rows: list[list[tuple[Operation, int]]] = [[] for _ in range(self.ii)]
+        by_uid = {op.uid: op for op in self.loop.body}
+        for uid, t in sorted(self.times.items(), key=lambda kv: kv[1]):
+            rows[t % self.ii].append((by_uid[uid], t // self.ii))
+        return rows
+
+    def ii_per_original_iteration(self) -> float:
+        return self.ii / self.loop.increment
+
+
+def _heights(
+    loop: Loop,
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+) -> dict[int, int]:
+    """Longest path from each operation to any sink under II-adjusted
+    weights — the scheduling priority.  Converges because MII rules out
+    positive cycles."""
+    height = {op.uid: 0 for op in loop.body}
+    # Relax to fixpoint (bounded by |V| rounds at a feasible II).
+    for _ in range(len(loop.body)):
+        changed = False
+        for edge in graph.edges:
+            w = edge_delay(edge, graph, machine) - ii * edge.distance
+            candidate = height[edge.dst] + w
+            if candidate > height[edge.src]:
+                height[edge.src] = candidate
+                changed = True
+        if not changed:
+            break
+    return height
+
+
+def _try_schedule(
+    loop: Loop,
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    budget: int,
+    jitter_seed: int | None = None,
+) -> dict[int, int] | None:
+    height: dict[int, float] = dict(_heights(loop, graph, machine, ii))
+    rng = None
+    if jitter_seed is not None:
+        # Deterministic perturbation: tight kernels (every issue slot
+        # full) sometimes defeat the pure height order and earliest-fit
+        # placement, and a different exploration order finds the
+        # schedule.  Rau's iterative scheme is a heuristic; randomized
+        # restarts are the standard remedy.
+        import random
+
+        rng = random.Random(jitter_seed)
+        for uid in height:
+            height[uid] += rng.random() * 2.0
+    body_index = {op.uid: i for i, op in enumerate(loop.body)}
+    by_uid = {op.uid: op for op in loop.body}
+
+    times: dict[int, int] = {}
+    last_time: dict[int, int] = {}
+    mrt = ModuloReservationTable(machine, ii)
+
+    # Max-heap on (height, reverse body order).
+    ready = [(-height[op.uid], body_index[op.uid], op.uid) for op in loop.body]
+    heapq.heapify(ready)
+    in_queue = {op.uid for op in loop.body}
+
+    def push(uid: int) -> None:
+        if uid not in in_queue:
+            heapq.heappush(ready, (-height[uid], body_index[uid], uid))
+            in_queue.add(uid)
+
+    while ready:
+        if budget <= 0:
+            return None
+        budget -= 1
+        _, _, uid = heapq.heappop(ready)
+        in_queue.discard(uid)
+        op = by_uid[uid]
+
+        estart = 0
+        for edge in graph.predecessors(uid):
+            if edge.src == uid or edge.src not in times:
+                continue
+            bound = (
+                times[edge.src]
+                + edge_delay(edge, graph, machine)
+                - ii * edge.distance
+            )
+            estart = max(estart, bound)
+
+        placed_at: int | None = None
+        fitting = [t for t in range(estart, estart + ii) if mrt.fits(op, t)]
+        if fitting:
+            # Earliest fit by default; jittered attempts sometimes pick a
+            # later fitting cycle, which reaches schedules where an issue
+            # row must be left open for a not-yet-scheduled operation.
+            placed_at = fitting[0]
+            if rng is not None and len(fitting) > 1 and rng.random() < 0.5:
+                placed_at = rng.choice(fitting)
+            mrt.place(op, placed_at)
+        if placed_at is None:
+            # Force placement, evicting conflicts (Rau's scheme: never
+            # retry the exact same slot for this op).
+            t = estart
+            if uid in last_time and t <= last_time[uid]:
+                t = last_time[uid] + 1
+            for evicted in mrt.place_evicting(op, t):
+                del times[evicted]
+                push(evicted)
+            placed_at = t
+
+        times[uid] = placed_at
+        last_time[uid] = placed_at
+
+        # Unschedule any scheduled neighbor whose dependence is now violated.
+        for edge in graph.successors(uid):
+            if edge.dst == uid or edge.dst not in times:
+                continue
+            need = placed_at + edge_delay(edge, graph, machine) - ii * edge.distance
+            if times[edge.dst] < need:
+                mrt.remove(edge.dst)
+                del times[edge.dst]
+                push(edge.dst)
+        for edge in graph.predecessors(uid):
+            if edge.src == uid or edge.src not in times:
+                continue
+            need = times[edge.src] + edge_delay(edge, graph, machine) - ii * edge.distance
+            if placed_at < need:
+                mrt.remove(edge.src)
+                del times[edge.src]
+                push(edge.src)
+
+    return times if len(times) == len(loop.body) else None
+
+
+def modulo_schedule(
+    loop: Loop,
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    budget_ratio: int = 10,
+    max_ii_factor: int = 4,
+    min_ii: int | None = None,
+) -> ModuloSchedule:
+    """Schedule a loop body, trying successive IIs from MII upward.
+
+    ``min_ii`` lets callers impose an external lower bound (e.g. a retry
+    after register allocation failed at the previous II).
+    """
+    if not loop.body:
+        raise SchedulingError(f"loop {loop.name!r} has an empty body")
+    mii, res, rec = minimum_ii(loop, graph, machine)
+    start = max(mii, min_ii or 1)
+    budget = max(budget_ratio * len(loop.body), 40)
+    max_ii = max(start * max_ii_factor, start + 32)
+
+    attempts = 0
+    for ii in range(start, max_ii + 1):
+        for variant in (None, 1, 2, 3):
+            attempts += 1
+            times = _try_schedule(loop, graph, machine, ii, budget, variant)
+            if times is not None:
+                _check_schedule(loop, graph, machine, ii, times)
+                return ModuloSchedule(
+                    loop=loop,
+                    machine=machine,
+                    ii=ii,
+                    times=times,
+                    res_mii=res,
+                    rec_mii=rec,
+                    attempts=attempts,
+                )
+    raise SchedulingError(
+        f"no schedule for {loop.name!r} with II in [{start}, {max_ii}]"
+    )
+
+
+def _check_schedule(
+    loop: Loop,
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    times: dict[int, int],
+) -> None:
+    """Validate dependence and resource feasibility of a finished schedule."""
+    for edge in graph.edges:
+        lhs = times[edge.dst] + ii * edge.distance
+        rhs = times[edge.src] + edge_delay(edge, graph, machine)
+        if lhs < rhs:
+            raise SchedulingError(
+                f"schedule violates {edge} in {loop.name!r} (ii={ii})"
+            )
+    mrt = ModuloReservationTable(machine, ii)
+    for op in sorted(loop.body, key=lambda o: times[o.uid]):
+        if not mrt.fits(op, times[op.uid]):
+            raise SchedulingError(
+                f"resource overflow at cycle {times[op.uid]} for {op}"
+            )
+        mrt.place(op, times[op.uid])

@@ -1,0 +1,23 @@
+"""Rotating-register allocation for software-pipelined kernels."""
+
+from repro.regalloc.allocator import (
+    AllocationResult,
+    FilePressure,
+    allocate_kernel,
+    register_file_of,
+)
+from repro.regalloc.spill import (
+    insert_spills,
+    spill_candidates,
+    spill_for_pressure,
+)
+
+__all__ = [
+    "AllocationResult",
+    "FilePressure",
+    "allocate_kernel",
+    "insert_spills",
+    "register_file_of",
+    "spill_candidates",
+    "spill_for_pressure",
+]

@@ -1,0 +1,156 @@
+"""Rotating-register allocation for modulo-scheduled kernels.
+
+A value defined in stage ``s`` and consumed in stage ``s+k`` is live
+across ``k`` kernel copies, so it needs ``k+1`` rotating registers (the
+Trimaran/Itanium scheme; modulo variable expansion achieves the same
+effect by unrolling).  We compute, for every kernel cycle, how many
+simultaneously live copies each register file must hold (MaxLive), assign
+rotating indices, and report whether the Table 1 file capacities suffice.
+Allocation failure sends the loop back to the scheduler at a higher II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.dependence.graph import DependenceGraph, DepKind, Via
+from repro.ir.types import ScalarType, VectorType
+from repro.ir.values import VirtualRegister
+from repro.machine.machine import MachineDescription
+
+if TYPE_CHECKING:  # avoid a circular import with repro.pipeline
+    from repro.pipeline.scheduler import ModuloSchedule
+
+
+def register_file_of(reg: VirtualRegister) -> str:
+    """Which architected file holds this value: int / fp / vint / vfp."""
+    ty = reg.type
+    if isinstance(ty, VectorType):
+        return "vint" if ty.element.is_integer else "vfp"
+    if ty is ScalarType.PRED:
+        return "pred"
+    return "int" if ty.is_integer else "fp"
+
+
+_CAPACITY_ATTR = {
+    "int": "scalar_int",
+    "fp": "scalar_fp",
+    "vint": "vector_int",
+    "vfp": "vector_fp",
+    "pred": "predicate",
+}
+
+
+@dataclass
+class FilePressure:
+    file: str
+    max_live: int
+    capacity: int
+
+    @property
+    def fits(self) -> bool:
+        return self.max_live <= self.capacity
+
+
+@dataclass
+class AllocationResult:
+    pressures: dict[str, FilePressure]
+    rotating_indices: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.fits for p in self.pressures.values())
+
+    def pressure(self, file: str) -> int:
+        p = self.pressures.get(file)
+        return p.max_live if p else 0
+
+
+def _live_copies(start: int, end: int, cycle: int, ii: int) -> int:
+    """Number of rotating copies of a value live at kernel cycle ``cycle``
+    given an absolute lifetime [start, end)."""
+    if end <= start:
+        return 0
+    lo = math.ceil((start - cycle) / ii)
+    hi = math.ceil((end - cycle) / ii)
+    return max(0, hi - lo)
+
+
+def allocate_kernel(
+    schedule: ModuloSchedule,
+    graph: DependenceGraph,
+) -> AllocationResult:
+    """MaxLive analysis and rotating assignment for one kernel."""
+    loop = schedule.loop
+    machine = schedule.machine
+    ii = schedule.ii
+    times = schedule.times
+
+    # Lifetime of each defined value: from issue to the latest consumer
+    # read (offset by II per carried distance); values without consumers
+    # live through their own latency.
+    lifetimes: dict[VirtualRegister, tuple[int, int]] = {}
+    for op in loop.body:
+        if op.dest is None:
+            continue
+        start = times[op.uid]
+        end = start + max(1, machine.opcode_info(op).latency)
+        for edge in graph.successors(op.uid):
+            if edge.kind is not DepKind.FLOW or edge.via not in (
+                Via.REGISTER,
+                Via.CARRIED,
+            ):
+                continue
+            end = max(end, times[edge.dst] + ii * edge.distance + 1)
+        lifetimes[op.dest] = (start, end)
+
+    # Live-out values persist past the loop: round their lifetime up to a
+    # full extra stage so the epilogue can still read them.
+    for reg in loop.live_out:
+        if reg in lifetimes:
+            start, end = lifetimes[reg]
+            lifetimes[reg] = (start, max(end, start + ii + 1))
+
+    max_live: dict[str, int] = {}
+    for cycle in range(ii):
+        live_now: dict[str, int] = {}
+        for reg, (start, end) in lifetimes.items():
+            copies = _live_copies(start, end, cycle, ii)
+            if copies:
+                file = register_file_of(reg)
+                live_now[file] = live_now.get(file, 0) + copies
+        for file, count in live_now.items():
+            max_live[file] = max(max_live.get(file, 0), count)
+
+    # Persistent values: carried entries without a body definition and
+    # loop invariants defined in the preheader each pin one register.
+    body_defs = {op.dest for op in loop.body if op.dest is not None}
+    for c in loop.carried:
+        if c.exit == c.entry or c.exit not in body_defs:
+            file = register_file_of(c.entry)
+            max_live[file] = max_live.get(file, 0) + 1
+    for op in loop.preheader:
+        if op.dest is not None:
+            file = register_file_of(op.dest)
+            max_live[file] = max_live.get(file, 0) + 1
+
+    rf = machine.register_files
+    pressures = {
+        file: FilePressure(file, count, getattr(rf, _CAPACITY_ATTR[file]))
+        for file, count in sorted(max_live.items())
+    }
+
+    # Rotating assignment: values receive consecutive base indices within
+    # their file; the hardware (or modulo variable expansion) advances the
+    # rotating base by one register per kernel iteration.
+    rotating: dict[str, int] = {}
+    counters: dict[str, int] = {}
+    for reg in sorted(lifetimes, key=lambda r: r.name):
+        file = register_file_of(reg)
+        rotating[reg.name] = counters.get(file, 0)
+        counters[file] = counters.get(file, 0) + 1
+
+    return AllocationResult(pressures=pressures, rotating_indices=rotating)

@@ -1,0 +1,153 @@
+"""Spill code insertion.
+
+When a kernel's MaxLive exceeds a register file even after the scheduler
+retries at longer IIs, the remaining recourse is to spill: store a
+long-lived value to a scratch location right after its definition and
+reload it in front of each use.  The spill traffic competes for the
+load/store units — exactly the cost a real backend pays — and the
+shortened live ranges bring MaxLive back under the file capacity.
+
+Spill candidates are the values with the longest kernel lifetimes in the
+overflowing file, excluding carried exits and live-outs (whose lifetimes
+are structural).  The scratch slots are indexed by the loop counter, so
+spills from overlapped iterations never collide (the software-pipelining
+analogue of distinct stack slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.dependence.graph import DependenceGraph, DepKind, Via
+from repro.ir.loop import ArrayInfo, Loop
+from repro.ir.operations import Operation, OpKind
+from repro.ir.subscripts import AffineExpr, Subscript
+from repro.ir.types import ScalarType
+from typing import TYPE_CHECKING
+
+from repro.ir.values import VirtualRegister
+from repro.regalloc.allocator import AllocationResult, register_file_of
+
+if TYPE_CHECKING:  # avoid a circular import with repro.pipeline
+    from repro.pipeline.scheduler import ModuloSchedule
+
+SPILL_PREFIX = "spill."
+SPILL_SCRATCH_ELEMS = 1 << 14
+
+
+def spill_candidates(
+    schedule: "ModuloSchedule",
+    graph: DependenceGraph,
+    file: str,
+) -> list[VirtualRegister]:
+    """Spillable values of ``file``, longest kernel lifetime first."""
+    loop = schedule.loop
+    machine = schedule.machine
+    protected: set[VirtualRegister] = set(loop.live_out)
+    for c in loop.carried:
+        if isinstance(c.exit, VirtualRegister):
+            protected.add(c.exit)
+
+    lifetimes: list[tuple[int, VirtualRegister]] = []
+    for op in loop.body:
+        if op.dest is None or op.dest in protected:
+            continue
+        if register_file_of(op.dest) != file:
+            continue
+        if isinstance(op.dest.type, ScalarType) and op.dest.type is ScalarType.PRED:
+            continue
+        start = schedule.times[op.uid]
+        end = start + max(1, machine.opcode_info(op).latency)
+        consumers = 0
+        for edge in graph.successors(op.uid):
+            if edge.kind is DepKind.FLOW and edge.via in (Via.REGISTER, Via.CARRIED):
+                end = max(end, schedule.times[edge.dst] + schedule.ii * edge.distance)
+                consumers += 1
+        if consumers == 0:
+            continue
+        lifetimes.append((end - start, op.dest))
+    lifetimes.sort(key=lambda t: (-t[0], t[1].name))
+    return [reg for _, reg in lifetimes]
+
+
+def insert_spills(loop: Loop, victims: list[VirtualRegister]) -> Loop:
+    """Rewrite ``loop`` spilling each victim: store after its definition,
+    reload in front of every consumer."""
+    if not victims:
+        return loop
+    victim_set = set(victims)
+    arrays = dict(loop.arrays)
+    body: list[Operation] = []
+    reload_counter = 0
+
+    def scratch(reg: VirtualRegister) -> str:
+        name = f"{SPILL_PREFIX}{reg.name}"
+        if name not in arrays:
+            dtype = reg.type
+            assert isinstance(dtype, ScalarType)
+            arrays[name] = ArrayInfo(name, dtype, (SPILL_SCRATCH_ELEMS,))
+        return name
+
+    sub = Subscript((AffineExpr(1, 0),))
+    for op in loop.body:
+        # Reload spilled operands immediately before the consumer.
+        new_srcs = list(op.srcs)
+        changed = False
+        for i, src in enumerate(op.srcs):
+            if isinstance(src, VirtualRegister) and src in victim_set:
+                nonlocal_name = f"{src.name}.rl{reload_counter}"
+                reload_counter += 1
+                dtype = src.type
+                assert isinstance(dtype, ScalarType)
+                reload_reg = VirtualRegister(nonlocal_name, dtype)
+                body.append(
+                    Operation(
+                        OpKind.LOAD,
+                        dtype,
+                        dest=reload_reg,
+                        array=scratch(src),
+                        subscript=sub,
+                    )
+                )
+                new_srcs[i] = reload_reg
+                changed = True
+        body.append(replace(op, srcs=tuple(new_srcs)) if changed else op)
+        # Store a victim to its slot right after its definition.
+        if op.dest is not None and op.dest in victim_set:
+            dtype = op.dest.type
+            assert isinstance(dtype, ScalarType)
+            body.append(
+                Operation(
+                    OpKind.STORE,
+                    dtype,
+                    srcs=(op.dest,),
+                    array=scratch(op.dest),
+                    subscript=sub,
+                )
+            )
+
+    spilled = replace(loop, body=tuple(body), arrays=arrays)
+    from repro.ir.verifier import verify_loop
+
+    verify_loop(spilled)
+    return spilled
+
+
+def spill_for_pressure(
+    loop: Loop,
+    schedule: "ModuloSchedule",
+    graph: DependenceGraph,
+    allocation: AllocationResult,
+) -> Loop | None:
+    """Choose and apply spills for every overflowing file.  Returns the
+    rewritten loop, or ``None`` when nothing can be spilled."""
+    victims: list[VirtualRegister] = []
+    for file, pressure in allocation.pressures.items():
+        if pressure.fits:
+            continue
+        overflow = pressure.max_live - pressure.capacity
+        candidates = spill_candidates(schedule, graph, file)
+        victims.extend(candidates[: max(1, overflow)])
+    if not victims:
+        return None
+    return insert_spills(loop, victims)

@@ -1,0 +1,63 @@
+"""Vectorization: the selective partitioner (the paper's contribution)
+plus the traditional and full vectorizer baselines and the shared loop
+transformation engine."""
+
+from repro.vectorize.alignment import merge_overhead_opcodes, reference_is_misaligned
+from repro.vectorize.bins import Bins, placement_freedom
+from repro.vectorize.communication import (
+    Dataflow,
+    Side,
+    Transfer,
+    dataflow_of,
+    transfer_cost_opcodes,
+    transfers_for,
+)
+from repro.vectorize.full import full_assignment, refine_isolated
+from repro.vectorize.iteration_assign import whole_iteration_transform
+from repro.vectorize.reduction import (
+    RecognizedReduction,
+    combine_lanes,
+    reassociable_reductions,
+    vectorize_reduction_loop,
+)
+from repro.vectorize.partition import (
+    PartitionConfig,
+    PartitionCostModel,
+    PartitionResult,
+    partition_operations,
+)
+from repro.vectorize.traditional import DistributedUnit, distribute_loop
+from repro.vectorize.transform import (
+    LiveOut,
+    TransformResult,
+    transform_loop,
+)
+
+__all__ = [
+    "Bins",
+    "Dataflow",
+    "DistributedUnit",
+    "RecognizedReduction",
+    "combine_lanes",
+    "reassociable_reductions",
+    "vectorize_reduction_loop",
+    "distribute_loop",
+    "full_assignment",
+    "refine_isolated",
+    "whole_iteration_transform",
+    "LiveOut",
+    "PartitionConfig",
+    "PartitionCostModel",
+    "PartitionResult",
+    "Side",
+    "Transfer",
+    "TransformResult",
+    "dataflow_of",
+    "merge_overhead_opcodes",
+    "partition_operations",
+    "placement_freedom",
+    "reference_is_misaligned",
+    "transfer_cost_opcodes",
+    "transfers_for",
+    "transform_loop",
+]

@@ -1,0 +1,59 @@
+"""Vector memory alignment modeling.
+
+The target architectures require vector memory operations to address
+vector-aligned locations.  A misaligned vector load is implemented as
+aligned loads plus a merge extracting the desired elements; a misaligned
+store additionally rewrites memory.  In a software-pipelined loop most of
+the extra memory traffic is eliminated by reusing the aligned chunk from
+the previous iteration [13, 40], leaving a steady-state overhead of one
+merge operation per misaligned vector memory reference — which is what
+both the partitioner's cost model and the loop transformer charge.  The
+first iteration's priming load is emitted in the loop preheader.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop
+from repro.ir.operations import Operation, OpKind
+from repro.machine.machine import AlignmentPolicy, MachineDescription
+from repro.machine.resources import OpcodeInfo
+
+
+def reference_is_misaligned(
+    machine: MachineDescription,
+    loop: Loop,
+    op: Operation,
+) -> bool:
+    """Would vectorizing memory reference ``op`` require merges?
+
+    Under ``ASSUME_MISALIGNED`` every reference pays; under
+    ``ASSUME_ALIGNED`` none does; under ``ANALYZE`` the array's base
+    alignment and the reference's constant offset decide, with symbolic
+    offsets treated conservatively as misaligned.
+    """
+    if not op.kind.is_memory:
+        raise ValueError(f"{op} is not a memory operation")
+    policy = machine.alignment
+    if policy is AlignmentPolicy.ASSUME_ALIGNED:
+        return False
+    if policy is AlignmentPolicy.ASSUME_MISALIGNED:
+        return True
+    assert op.subscript is not None
+    inner = op.subscript.innermost
+    if inner.has_symbols:
+        return True
+    info = loop.arrays[op.array or ""]
+    return (info.alignment_offset + inner.offset) % machine.vector_length != 0
+
+
+def merge_overhead_opcodes(
+    machine: MachineDescription,
+    loop: Loop,
+    op: Operation,
+) -> list[OpcodeInfo]:
+    """Steady-state realignment opcodes charged when ``op`` is vectorized."""
+    if not machine.needs_alignment_merges:
+        return []
+    if not reference_is_misaligned(machine, loop, op):
+        return []
+    return [machine.opcode_info_for(OpKind.MERGE, op.dtype, True)]

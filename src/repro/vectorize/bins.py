@@ -1,0 +1,120 @@
+"""Resource bins for partition cost evaluation (Figure 2, lines 33-70).
+
+A bin is associated with each compiler-visible resource *instance* (each
+member of a resource class is a scheduling alternative).  Reserving an
+opcode places one unit of work on the least-used alternative of every
+resource class the opcode requires; multi-cycle reservations (divides)
+add their full busy time.  The cost of a configuration is the high-water
+mark — the weight of the most heavily used bin — which equals the
+resource-constrained minimum initiation interval (ResMII) of the modulo
+schedule that will follow.
+
+Two details from the paper are implemented exactly:
+
+* When two alternatives leave the high-water mark unchanged, the one that
+  minimizes the *sum of squared bin weights* is chosen (lines 53-65).
+  This balances load across bins, which is what makes the incremental
+  release-and-reserve cost probes of ``TEST-REPARTITION`` accurate.
+* Reservations are remembered per key so they can be released exactly
+  (``RELEASE-RESOURCES``), including communication overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.machine import MachineDescription
+from repro.machine.resources import OpcodeInfo
+
+
+@dataclass
+class Bins:
+    """Weights per resource instance plus a reservation ledger."""
+
+    machine: MachineDescription
+    weights: dict[str, int] = field(default_factory=dict)
+    reservations: dict[object, list[tuple[str, int]]] = field(default_factory=dict)
+    # The paper's squared-weight tie-break (lines 53-65).  Disabling it
+    # (first-fit among equal high-water alternatives) is the bin-packing
+    # ablation: released-resource cost probes become less accurate.
+    balance_ties: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            for rc in self.machine.resources:
+                for instance in rc.instances():
+                    self.weights[instance] = 0
+
+    def copy(self) -> Bins:
+        clone = Bins(self.machine, dict(self.weights), balance_ties=self.balance_ties)
+        clone.reservations = {k: list(v) for k, v in self.reservations.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+
+    def high_water_mark(self) -> int:
+        return max(self.weights.values(), default=0)
+
+    def sum_of_squares(self) -> int:
+        return sum(w * w for w in self.weights.values())
+
+    # ------------------------------------------------------------------
+
+    def reserve_least_used(self, opcode: OpcodeInfo, key: object) -> None:
+        """Reserve ``opcode``'s resources on least-used alternatives,
+        recording the choice under ``key`` for later release."""
+        ledger = self.reservations.setdefault(key, [])
+        for use in opcode.uses:
+            rc = self.machine.resource_class(use.resource)
+            best_instance: str | None = None
+            best_high = None
+            best_cost = None
+            for instance in rc.instances():
+                new_weight = self.weights[instance] + use.cycles
+                high = max(self.high_water_mark(), new_weight)
+                # Incremental sum of squares: only this bin changes.
+                old = self.weights[instance]
+                cost = (
+                    self.sum_of_squares() - old * old + new_weight * new_weight
+                    if self.balance_ties
+                    else 0
+                )
+                if (
+                    best_high is None
+                    or high < best_high
+                    or (high == best_high and cost < best_cost)
+                ):
+                    best_high = high
+                    best_cost = cost
+                    best_instance = instance
+            assert best_instance is not None
+            self.weights[best_instance] += use.cycles
+            ledger.append((best_instance, use.cycles))
+
+    def reserve_all(self, opcodes: list[OpcodeInfo], key: object) -> None:
+        for opcode in opcodes:
+            self.reserve_least_used(opcode, key)
+
+    def release(self, key: object) -> None:
+        """Release every reservation recorded under ``key``."""
+        for instance, cycles in self.reservations.pop(key, []):
+            self.weights[instance] -= cycles
+            if self.weights[instance] < 0:
+                raise RuntimeError(f"bin {instance} released below zero")
+
+    def has_key(self, key: object) -> bool:
+        return key in self.reservations
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in sorted(self.weights.items())]
+        return "bins[" + ", ".join(parts) + f"] hwm={self.high_water_mark()}"
+
+
+def placement_freedom(machine: MachineDescription, opcode: OpcodeInfo) -> int:
+    """Number of placement alternatives for an opcode — the ordering key
+    for bin-packing (fewest alternatives packed first, as in iterative
+    modulo scheduling's original formulation)."""
+    freedom = 1
+    for use in opcode.uses:
+        freedom *= machine.resource_class(use.resource).count
+    return freedom

@@ -1,0 +1,50 @@
+"""Full vectorization (the paper's second baseline).
+
+Every data-parallel operation is vectorized, but the loop is left intact
+(not distributed) so vector and scalar operations overlap under modulo
+scheduling.  Scalar operations are replicated by the vector length to
+match the vector work output.
+
+Because the evaluated machine communicates operands between register
+files through memory, the paper applies one improvement to both the
+traditional and full vectorizers: an operation is not vectorized unless
+it has at least one vectorizable dataflow predecessor or successor —
+vectorizing an isolated operation only buys transfer traffic.
+"""
+
+from __future__ import annotations
+
+from repro.dependence.analysis import LoopDependence
+from repro.dependence.graph import DepKind, Via
+from repro.vectorize.communication import Side
+
+
+def refine_isolated(dep: LoopDependence, vectorizable: set[int]) -> set[int]:
+    """Drop vectorizable operations with no vectorizable dataflow
+    neighbor (register or carried flow, either direction)."""
+    neighbors: dict[int, set[int]] = {uid: set() for uid in vectorizable}
+    for edge in dep.graph.edges:
+        if edge.kind is not DepKind.FLOW or edge.via not in (
+            Via.REGISTER,
+            Via.CARRIED,
+        ):
+            continue
+        if edge.src in neighbors:
+            neighbors[edge.src].add(edge.dst)
+        if edge.dst in neighbors:
+            neighbors[edge.dst].add(edge.src)
+    return {
+        uid
+        for uid in vectorizable
+        if any(n in vectorizable for n in neighbors[uid])
+    }
+
+
+def full_assignment(dep: LoopDependence) -> dict[int, Side]:
+    """The full-vectorization partition: all (non-isolated) vectorizable
+    operations go to the vector side."""
+    chosen = refine_isolated(dep, set(dep.vectorizable))
+    return {
+        op.uid: (Side.VECTOR if op.uid in chosen else Side.SCALAR)
+        for op in dep.loop.body
+    }

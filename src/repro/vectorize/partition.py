@@ -1,0 +1,258 @@
+"""Selective vectorization partitioning (paper Figure 2).
+
+Divides a loop's vectorizable operations between a scalar and a vector
+partition using Kernighan and Lin's two-cluster heuristic.  The cost of a
+configuration is the high-water mark of the resource bins — the ResMII of
+the loop that will be modulo scheduled — with each scalar operation binned
+``VL`` times to match the work output of one vector operation, explicit
+scalar<->vector communication binned as a consequence of the partition
+(one transfer per operand), and realignment merges charged to misaligned
+vector memory references.
+
+The algorithm is iterative: every iteration repositions each vectorizable
+operation exactly once (greedily choosing, at each step, the unlocked
+operation whose move yields the cheapest configuration — moves may
+*increase* cost mid-iteration), remembers the best configuration seen,
+and restarts from it.  It terminates when an iteration fails to improve
+on its starting configuration.  Cost probes checkpoint the bins and
+release/reserve only the moved operation's resources and the transfers it
+touches, exactly as ``TEST-REPARTITION`` prescribes; a full bin-pack is
+performed only after an operation is finally chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dependence.analysis import LoopDependence
+from repro.ir.operations import Operation, OpKind
+from repro.machine.machine import MachineDescription
+from repro.machine.resources import OpcodeInfo
+from repro.vectorize.alignment import merge_overhead_opcodes
+from repro.vectorize.bins import Bins, placement_freedom
+from repro.vectorize.communication import (
+    Dataflow,
+    Side,
+    Transfer,
+    dataflow_of,
+    transfer_cost_opcodes,
+    transfer_for_key,
+    transfer_keys_touching,
+    transfers_for,
+)
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Partitioner knobs.
+
+    ``account_communication=False`` reproduces the Table 4 ablation: the
+    cost model ignores transfer operations during partitioning (they are
+    still inserted by the transformer for correctness).
+    ``account_alignment=False`` likewise blinds the cost model to
+    realignment merges.  ``max_iterations`` artificially limits the number
+    of Kernighan-Lin iterations (the paper notes this option; ``None``
+    runs to convergence).
+    """
+
+    account_communication: bool = True
+    account_alignment: bool = True
+    max_iterations: int | None = None
+    balanced_bin_packing: bool = True
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of partitioning one loop."""
+
+    assignment: dict[int, Side]
+    cost: int
+    scalar_cost: int
+    iterations: int
+    history: list[int] = field(default_factory=list)
+
+    @property
+    def vectorized(self) -> set[int]:
+        return {uid for uid, side in self.assignment.items() if side is Side.VECTOR}
+
+    @property
+    def any_vectorized(self) -> bool:
+        return bool(self.vectorized)
+
+    def ii_estimate(self, vector_length: int) -> float:
+        """Estimated II per *original* iteration (cost is per VL of them)."""
+        return self.cost / vector_length
+
+
+class PartitionCostModel:
+    """Maps (operation, side) and transfers to machine opcodes for binning."""
+
+    def __init__(
+        self,
+        dep: LoopDependence,
+        machine: MachineDescription,
+        config: PartitionConfig,
+    ):
+        self.dep = dep
+        self.machine = machine
+        self.config = config
+        self.dataflow: Dataflow = dataflow_of(dep)
+        self.touch_keys: dict[int, set[object]] = {
+            op.uid: transfer_keys_touching(self.dataflow, op)
+            for op in dep.loop.body
+        }
+
+    def op_opcodes(self, op: Operation, side: Side) -> list[OpcodeInfo]:
+        if side is Side.SCALAR:
+            info = self.machine.opcode_info_for(op.kind, op.dtype, False)
+            return [info] * self.machine.vector_length
+        infos = [self.machine.opcode_info_for(op.kind, op.dtype, True)]
+        if op.kind.is_memory and self.config.account_alignment:
+            infos.extend(merge_overhead_opcodes(self.machine, self.dep.loop, op))
+        return infos
+
+    def overhead_opcodes(self) -> list[OpcodeInfo]:
+        """Loop control and addressing work, constant across partitions:
+        one pointer bump per distinct array, one induction-variable
+        increment, one compare-and-branch."""
+        machine = self.machine
+        from repro.ir.types import ScalarType
+
+        if not machine.model_loop_overhead:
+            return []
+        infos: list[OpcodeInfo] = []
+        arrays = {op.array for op in self.dep.loop.body if op.kind.is_memory}
+        for _ in sorted(a for a in arrays if a is not None):
+            infos.append(machine.opcode_info_for(OpKind.BUMP, ScalarType.I64, False))
+        infos.append(machine.opcode_info_for(OpKind.IVINC, ScalarType.I64, False))
+        infos.append(machine.opcode_info_for(OpKind.CBR, ScalarType.I64, False))
+        return infos
+
+    def transfer_opcodes(self, transfer: Transfer) -> list[OpcodeInfo]:
+        if not self.config.account_communication:
+            return []
+        return transfer_cost_opcodes(self.machine, transfer)
+
+    # ------------------------------------------------------------------
+
+    def bin_pack(self, assignment: dict[int, Side]) -> Bins:
+        """Full greedy bin-pack of the configuration (Figure 2, BIN-PACK).
+
+        Operations with the fewest placement alternatives are packed
+        first; ties resolve in body order.
+        """
+        bins = Bins(self.machine, balance_ties=self.config.balanced_bin_packing)
+        ordered = sorted(
+            self.dep.loop.body,
+            key=lambda op: min(
+                placement_freedom(self.machine, info)
+                for info in self.op_opcodes(op, assignment[op.uid])
+            ),
+        )
+        for op in ordered:
+            bins.reserve_all(self.op_opcodes(op, assignment[op.uid]), ("op", op.uid))
+        for transfer in transfers_for(self.dataflow, assignment):
+            opcodes = self.transfer_opcodes(transfer)
+            if opcodes:
+                bins.reserve_all(opcodes, ("comm", transfer.key))
+        for i, info in enumerate(self.overhead_opcodes()):
+            bins.reserve_least_used(info, ("overhead", i))
+        return bins
+
+    def probe_cost(
+        self,
+        bins: Bins,
+        assignment: dict[int, Side],
+        op: Operation,
+    ) -> int:
+        """Cost of the configuration with ``op`` switched, without a full
+        re-pack (Figure 2, TEST-REPARTITION)."""
+        probe = bins.copy()
+        probe.release(("op", op.uid))
+        touched = self.touch_keys[op.uid]
+        for key in touched:
+            if probe.has_key(("comm", key)):
+                probe.release(("comm", key))
+        new_side = assignment[op.uid].flipped()
+        assignment[op.uid] = new_side
+        try:
+            probe.reserve_all(self.op_opcodes(op, new_side), ("op", op.uid))
+            for key in touched:
+                transfer = transfer_for_key(self.dataflow, assignment, key)
+                if transfer is None:
+                    continue
+                opcodes = self.transfer_opcodes(transfer)
+                if opcodes:
+                    probe.reserve_all(opcodes, ("comm", key))
+        finally:
+            assignment[op.uid] = new_side.flipped()
+        return probe.high_water_mark()
+
+
+def partition_operations(
+    dep: LoopDependence,
+    machine: MachineDescription,
+    config: PartitionConfig | None = None,
+) -> PartitionResult:
+    """Run the Figure 2 partitioner on an analyzed loop."""
+    config = config or PartitionConfig()
+    model = PartitionCostModel(dep, machine, config)
+    body = dep.loop.body
+
+    assignment: dict[int, Side] = {op.uid: Side.SCALAR for op in body}
+    scalar_bins = model.bin_pack(assignment)
+    scalar_cost = scalar_bins.high_water_mark()
+
+    candidates = [op for op in body if dep.is_vectorizable(op)]
+    if not candidates or not machine.supports_vectors:
+        return PartitionResult(
+            assignment=assignment,
+            cost=scalar_cost,
+            scalar_cost=scalar_cost,
+            iterations=0,
+            history=[scalar_cost],
+        )
+
+    best_assignment = dict(assignment)
+    best_cost = scalar_cost
+    history = [scalar_cost]
+    last_cost: float = float("inf")
+    iterations = 0
+
+    while last_cost != best_cost:
+        if config.max_iterations is not None and iterations >= config.max_iterations:
+            break
+        last_cost = best_cost
+        iterations += 1
+        locked: set[int] = set()
+        bins = model.bin_pack(assignment)
+
+        for _ in range(len(candidates)):
+            # FIND-OP-TO-SWITCH: cheapest probe among unlocked candidates.
+            best_op: Operation | None = None
+            best_probe: float = float("inf")
+            for op in candidates:
+                if op.uid in locked:
+                    continue
+                probe = model.probe_cost(bins, assignment, op)
+                if probe < best_probe:
+                    best_probe = probe
+                    best_op = op
+            assert best_op is not None
+            assignment[best_op.uid] = assignment[best_op.uid].flipped()
+            locked.add(best_op.uid)
+            bins = model.bin_pack(assignment)
+            cost = bins.high_water_mark()
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = dict(assignment)
+        history.append(best_cost)
+        assignment = dict(best_assignment)
+
+    return PartitionResult(
+        assignment=best_assignment,
+        cost=best_cost,
+        scalar_cost=scalar_cost,
+        iterations=iterations,
+        history=history,
+    )

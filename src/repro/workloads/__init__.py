@@ -1,0 +1,29 @@
+"""Workloads: signature kernels, the seeded loop generator, and the
+synthetic SPEC FP corpus."""
+
+from repro.workloads.generator import GENERATORS, generate
+from repro.workloads.kernels import ALL_KERNELS
+from repro.workloads.livermore import LIVERMORE_KERNELS
+from repro.workloads.spec import (
+    BENCHMARK_NAMES,
+    PROFILES,
+    Benchmark,
+    BenchmarkProfile,
+    WorkloadLoop,
+    build_benchmark,
+    build_suite,
+)
+
+__all__ = [
+    "ALL_KERNELS",
+    "LIVERMORE_KERNELS",
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "BenchmarkProfile",
+    "GENERATORS",
+    "PROFILES",
+    "WorkloadLoop",
+    "build_benchmark",
+    "build_suite",
+    "generate",
+]

@@ -1,0 +1,255 @@
+"""Seeded loop generation.
+
+The synthetic SPEC corpus needs many loops per benchmark (Table 3 counts
+range from 6 to 133).  Each generator below produces one *archetype* — a
+loop shape whose interaction with the machine is understood — with sizes
+and coefficients drawn from a seeded RNG, so the corpus is deterministic
+and its aggregate behavior is controlled by the archetype mix.
+
+Archetypes:
+
+* ``fp_chain``      — long floating-point chains, few memory refs: the
+                      fp units bound the scalar schedule and selective
+                      vectorization can split the work (big wins).
+* ``stencil``       — neighbor loads + moderate fp: memory/merge bound.
+* ``memory_bound``  — streaming copies/updates with light compute.
+* ``reduction``     — a serial reduction fed by parallel work.
+* ``strided``       — stride-2 (complex-arithmetic) memory: loads and
+                      stores are not vectorizable, arithmetic is.
+* ``recurrence``    — first-order memory recurrence: fully serial.
+* ``mixed``         — a reduction plus an independent parallel update.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop
+from repro.ir.values import Operand, const_f64
+
+ARRAY_ELEMS = 4608  # generous bound for interpreter trip counts + offsets
+
+
+def _coeff(rng: random.Random) -> float:
+    return round(rng.uniform(-1.5, 1.5), 3) or 0.5
+
+
+def gen_fp_chain(rng: random.Random, name: str) -> Loop:
+    """Load a few streams, run a long fp chain, store the result."""
+    n_streams = rng.randint(1, 3)
+    chain_len = rng.randint(6, 14)
+    b = LoopBuilder(name)
+    loads = []
+    for k in range(n_streams):
+        b.array(f"x{k}", dim_sizes=(ARRAY_ELEMS,))
+        loads.append(b.load(f"x{k}", b.idx(), name=f"v{k}"))
+    b.array("out", dim_sizes=(ARRAY_ELEMS,))
+    # Fold every stream in first (no dead loads), then grow the chain.
+    acc = loads[0]
+    for k, v in enumerate(loads[1:]):
+        acc = b.add(acc, v, name=f"in{k}")
+    values = [*loads, acc]
+    for k in range(chain_len):
+        other = values[rng.randrange(len(values))]
+        if rng.random() < 0.5:
+            acc = b.mul(acc, other, name=f"c{k}")
+        else:
+            acc = b.add(acc, other, name=f"c{k}")
+        values.append(acc)
+    b.store("out", b.idx(), acc)
+    return b.build()
+
+
+def gen_stencil(rng: random.Random, name: str) -> Loop:
+    """Weighted neighbor sum with a little extra arithmetic."""
+    taps = rng.randint(3, 5)
+    b = LoopBuilder(name)
+    b.array("x", dim_sizes=(ARRAY_ELEMS,))
+    b.array("y", dim_sizes=(ARRAY_ELEMS,))
+    acc: Operand | None = None
+    for t in range(taps):
+        v = b.load("x", b.idx(offset=t), name=f"x{t}")
+        w = b.mul(v, const_f64(_coeff(rng)), name=f"w{t}")
+        acc = w if acc is None else b.add(acc, w, name=f"s{t}")
+    assert acc is not None
+    for k in range(rng.randint(0, 3)):
+        acc = b.mul(acc, acc, name=f"e{k}")
+    b.store("y", b.idx(offset=taps // 2), acc)
+    return b.build()
+
+
+def gen_memory_bound(rng: random.Random, name: str) -> Loop:
+    """Several streams in, one or two light ops, streams out."""
+    n_in = rng.randint(2, 4)
+    n_out = rng.randint(1, 2)
+    b = LoopBuilder(name)
+    values = []
+    for k in range(n_in):
+        b.array(f"in{k}", dim_sizes=(ARRAY_ELEMS,))
+        values.append(b.load(f"in{k}", b.idx(), name=f"v{k}"))
+    combined = values[0]
+    for k, v in enumerate(values[1:]):
+        combined = b.add(combined, v, name=f"a{k}")
+    for k in range(n_out):
+        b.array(f"out{k}", dim_sizes=(ARRAY_ELEMS,))
+        result = (
+            combined
+            if k == 0
+            else b.mul(combined, const_f64(_coeff(rng)), name=f"o{k}")
+        )
+        b.store(f"out{k}", b.idx(), result)
+    return b.build()
+
+
+def gen_copy_like(rng: random.Random, name: str) -> Loop:
+    """A tiny streaming loop (copy / scale / two-input add).  Resource
+    limited — the load/store units bound it — but too small for selective
+    vectorization to improve: the realignment merges eat exactly what
+    vector memory saves.  Real benchmarks are full of these."""
+    b = LoopBuilder(name)
+    b.array("src", dim_sizes=(ARRAY_ELEMS,))
+    b.array("dst", dim_sizes=(ARRAY_ELEMS,))
+    v = b.load("src", b.idx(), name="v")
+    shape = rng.randrange(3)
+    if shape == 0:
+        result = v  # plain copy
+    elif shape == 1:
+        result = b.mul(v, const_f64(_coeff(rng)), name="sc")
+    else:
+        b.array("src2", dim_sizes=(ARRAY_ELEMS,))
+        w = b.load("src2", b.idx(), name="w")
+        result = b.add(v, w, name="sum")
+    b.store("dst", b.idx(), result)
+    return b.build()
+
+
+def gen_reduction(rng: random.Random, name: str) -> Loop:
+    """A serial fp reduction over a vectorizable expression."""
+    b = LoopBuilder(name)
+    b.array("x", dim_sizes=(ARRAY_ELEMS,))
+    b.array("y", dim_sizes=(ARRAY_ELEMS,))
+    s = b.carried("s", 0.0)
+    xi = b.load("x", b.idx(), name="xi")
+    yi = b.load("y", b.idx(), name="yi")
+    expr = b.mul(xi, yi, name="p")
+    for k in range(rng.randint(0, 3)):
+        expr = b.add(expr, xi if rng.random() < 0.5 else yi, name=f"q{k}")
+    s2 = b.add(s, expr, name="s2")
+    b.carry("s", s2)
+    b.live_out(s2)
+    return b.build()
+
+
+def gen_strided(rng: random.Random, name: str) -> Loop:
+    """Complex-arithmetic shape: stride-2 references, parallel fp ops."""
+    b = LoopBuilder(name)
+    b.array("a", dim_sizes=(2 * ARRAY_ELEMS,))
+    b.array("c", dim_sizes=(2 * ARRAY_ELEMS,))
+    ar = b.load("a", b.idx(coeff=2, offset=0), name="ar")
+    ai = b.load("a", b.idx(coeff=2, offset=1), name="ai")
+    rr = b.sub(b.mul(ar, ar, name="p0"), b.mul(ai, ai, name="p1"), name="rr")
+    ri = b.mul(b.mul(ar, ai, name="p2"), const_f64(2.0), name="ri")
+    extra = rr
+    for k in range(rng.randint(0, 4)):
+        extra = b.add(b.mul(extra, const_f64(_coeff(rng)), name=f"m{k}"), ri, name=f"e{k}")
+    b.store("c", b.idx(coeff=2, offset=0), extra)
+    b.store("c", b.idx(coeff=2, offset=1), ri)
+    return b.build()
+
+
+def gen_recurrence(rng: random.Random, name: str) -> Loop:
+    """First-order recurrence through memory: nothing vectorizes."""
+    b = LoopBuilder(name)
+    b.array("x", dim_sizes=(ARRAY_ELEMS,))
+    b.array("y", dim_sizes=(ARRAY_ELEMS,))
+    ym = b.load("y", b.idx(offset=0), name="ym")
+    xi = b.load("x", b.idx(offset=1), name="xi")
+    t = b.mul(ym, const_f64(0.5), name="t")
+    u = b.add(t, xi, name="u")
+    for k in range(rng.randint(0, 2)):
+        u = b.mul(u, const_f64(0.99), name=f"d{k}")
+    b.store("y", b.idx(offset=1), u)
+    return b.build()
+
+
+def gen_mixed(rng: random.Random, name: str) -> Loop:
+    """A reduction plus an independent data-parallel update — distribution
+    splits it; selective vectorization keeps it whole."""
+    b = LoopBuilder(name)
+    b.array("x", dim_sizes=(ARRAY_ELEMS,))
+    b.array("z", dim_sizes=(ARRAY_ELEMS,))
+    s = b.carried("s", 0.0)
+    xi = b.load("x", b.idx(), name="xi")
+    sq = b.mul(xi, xi, name="sq")
+    par = sq
+    for k in range(rng.randint(1, 5)):
+        par = b.add(b.mul(par, const_f64(_coeff(rng)), name=f"m{k}"), xi, name=f"p{k}")
+    b.store("z", b.idx(), par)
+    s2 = b.add(s, sq, name="s2")
+    b.carry("s", s2)
+    b.live_out(s2)
+    return b.build()
+
+
+def gen_interleaved(rng: random.Random, name: str) -> Loop:
+    """Parallel compute segments chained through strided (complex-layout)
+    memory — the nasa7/apsi kernel shape.  Each stage loads a stride-2
+    element written by the previous stage, so loop distribution shatters
+    the loop into ``2*stages + 1`` pieces (scalar gather, vector compute,
+    scalar scatter, ...) with expansion traffic between every pair, while
+    selective vectorization schedules the whole loop at once."""
+    return _interleaved(rng, name, rng.randint(3, 5), max_extra=3)
+
+
+def gen_interleaved_deep(rng: random.Random, name: str) -> Loop:
+    """A long-body variant of ``interleaved`` modeling nasa7-style kernels
+    (vpenta, gmtry): many alternating gather/compute/scatter segments with
+    little arithmetic per segment, so the loop is bound by the strided
+    memory traffic (which selective vectorization cannot help) and
+    distribution produces a dozen or more loops."""
+    return _interleaved(rng, name, rng.randint(6, 9), max_extra=1)
+
+
+def _interleaved(rng: random.Random, name: str, stages: int, max_extra: int) -> Loop:
+    b = LoopBuilder(name)
+    b.array("x0", dim_sizes=(2 * ARRAY_ELEMS,))
+    prev = b.load("x0", b.idx(coeff=2, offset=0), name="in0")
+    for s in range(stages):
+        # Parallel segment (vectorizable arithmetic).
+        q = b.mul(prev, prev, name=f"p{s}")
+        for k in range(rng.randint(0, max_extra)):
+            q = b.add(
+                b.mul(q, const_f64(_coeff(rng)), name=f"m{s}_{k}"),
+                prev,
+                name=f"a{s}_{k}",
+            )
+        # Strided scatter, then the next stage gathers what was written.
+        b.array(f"y{s}", dim_sizes=(2 * ARRAY_ELEMS,))
+        b.store(f"y{s}", b.idx(coeff=2, offset=0), q)
+        prev = b.load(f"y{s}", b.idx(coeff=2, offset=0), name=f"in{s + 1}")
+    b.array("out", dim_sizes=(2 * ARRAY_ELEMS,))
+    b.store("out", b.idx(coeff=2, offset=1), prev)
+    return b.build()
+
+
+GENERATORS = {
+    "fp_chain": gen_fp_chain,
+    "interleaved": gen_interleaved,
+    "interleaved_deep": gen_interleaved_deep,
+    "copy_like": gen_copy_like,
+    "stencil": gen_stencil,
+    "memory_bound": gen_memory_bound,
+    "reduction": gen_reduction,
+    "strided": gen_strided,
+    "recurrence": gen_recurrence,
+    "mixed": gen_mixed,
+}
+
+
+def generate(archetype: str, seed: int, name: str | None = None) -> Loop:
+    """Generate one loop of the given archetype, deterministically."""
+    if archetype not in GENERATORS:
+        raise KeyError(f"unknown archetype {archetype!r}")
+    rng = random.Random(seed)
+    return GENERATORS[archetype](rng, name or f"{archetype}_{seed}")

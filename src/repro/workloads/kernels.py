@@ -1,0 +1,306 @@
+"""Hand-written signature kernels.
+
+These are the classic loop shapes the paper's benchmarks are built from:
+dot products and other reductions, SAXPY-style streaming updates, stencil
+relaxations (tomcatv/swim/mgrid), strided "complex arithmetic" loops
+(nasa7), and first-order recurrences.  They are used directly by the
+examples and tests, and the synthetic SPEC corpus draws on the same
+shapes through the generator.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop
+from repro.ir.types import ScalarType
+from repro.ir.values import const_f64
+
+
+def dot_product(n: int = 1024) -> Loop:
+    """``s += x[i] * y[i]`` — Figure 1's motivating example.  The
+    floating-point reduction is not reorderable, so the add stays scalar."""
+    b = LoopBuilder("dot_product")
+    b.array("x", dim_sizes=(n,))
+    b.array("y", dim_sizes=(n,))
+    s = b.carried("s", 0.0)
+    xi = b.load("x", b.idx(), name="xi")
+    yi = b.load("y", b.idx(), name="yi")
+    t = b.mul(xi, yi, name="t")
+    s2 = b.add(s, t, name="s2")
+    b.carry("s", s2)
+    b.live_out(s2)
+    return b.build()
+
+
+def saxpy(n: int = 1024) -> Loop:
+    """``y[i] = a*x[i] + y[i]`` with a loop-invariant scalar ``a``."""
+    b = LoopBuilder("saxpy")
+    b.array("x", dim_sizes=(n,))
+    b.array("y", dim_sizes=(n,))
+    a = b.carried("a", 2.5)
+    xi = b.load("x", b.idx(), name="xi")
+    yi = b.load("y", b.idx(), name="yi")
+    t = b.mul(a, xi, name="t")
+    u = b.add(t, yi, name="u")
+    b.store("y", b.idx(), u)
+    return b.build()
+
+
+def vector_scale(n: int = 1024) -> Loop:
+    """``z[i] = x[i] * c`` — fully parallel, memory bound."""
+    b = LoopBuilder("vector_scale")
+    b.array("x", dim_sizes=(n,))
+    b.array("z", dim_sizes=(n,))
+    xi = b.load("x", b.idx(), name="xi")
+    t = b.mul(xi, const_f64(1.5), name="t")
+    b.store("z", b.idx(), t)
+    return b.build()
+
+
+def stencil3(n: int = 1024) -> Loop:
+    """Three-point stencil ``y[i] = c0*x[i-1] + c1*x[i] + c2*x[i+1]``;
+    the offset references exercise the misalignment machinery."""
+    b = LoopBuilder("stencil3")
+    b.array("x", dim_sizes=(n + 2,))
+    b.array("y", dim_sizes=(n + 2,))
+    xm = b.load("x", b.idx(offset=0), name="xm")
+    xc = b.load("x", b.idx(offset=1), name="xc")
+    xp = b.load("x", b.idx(offset=2), name="xp")
+    t0 = b.mul(xm, const_f64(0.25), name="t0")
+    t1 = b.mul(xc, const_f64(0.5), name="t1")
+    t2 = b.mul(xp, const_f64(0.25), name="t2")
+    u = b.add(t0, t1, name="u")
+    v = b.add(u, t2, name="v")
+    b.store("y", b.idx(offset=1), v)
+    return b.build()
+
+
+def relaxation(n: int = 1024) -> Loop:
+    """A tomcatv-flavored kernel: heavy floating-point work per point with
+    neighbor loads — the shape where selective vectorization shines."""
+    b = LoopBuilder("relaxation")
+    b.array("x", dim_sizes=(n + 2,))
+    b.array("y", dim_sizes=(n + 2,))
+    b.array("r", dim_sizes=(n + 2,))
+    xm = b.load("x", b.idx(offset=0), name="xm")
+    xc = b.load("x", b.idx(offset=1), name="xc")
+    xp = b.load("x", b.idx(offset=2), name="xp")
+    yc = b.load("y", b.idx(offset=1), name="yc")
+    dxx = b.sub(b.add(xm, xp, name="sxx"), b.mul(xc, const_f64(2.0), name="x2"), name="dxx")
+    a = b.mul(dxx, dxx, name="a")
+    bb = b.mul(a, const_f64(0.35), name="bb")
+    c = b.add(bb, yc, name="c")
+    d = b.mul(c, c, name="d")
+    e = b.add(d, a, name="e")
+    f = b.mul(e, const_f64(0.125), name="f")
+    g = b.sub(f, xc, name="g")
+    h = b.mul(g, const_f64(0.9), name="h")
+    b.store("r", b.idx(offset=1), h)
+    return b.build()
+
+
+def shallow_water(n: int = 1024) -> Loop:
+    """A swim-flavored update: several arrays, stencil reads, two stores."""
+    b = LoopBuilder("shallow_water")
+    for name in ("u", "v", "p", "unew", "pnew"):
+        b.array(name, dim_sizes=(n + 2,))
+    uc = b.load("u", b.idx(offset=1), name="uc")
+    up = b.load("u", b.idx(offset=2), name="up")
+    vc = b.load("v", b.idx(offset=1), name="vc")
+    pc = b.load("p", b.idx(offset=1), name="pc")
+    pp = b.load("p", b.idx(offset=2), name="pp")
+    cu = b.mul(b.add(pc, pp, name="psum"), uc, name="cu")
+    z = b.mul(b.sub(up, uc, name="du"), vc, name="z")
+    h = b.add(b.mul(uc, uc, name="u2"), pc, name="h")
+    un = b.add(cu, z, name="un")
+    pn = b.sub(h, b.mul(un, const_f64(0.05), name="damp"), name="pn")
+    b.store("unew", b.idx(offset=1), un)
+    b.store("pnew", b.idx(offset=1), pn)
+    return b.build()
+
+
+def mgrid_resid(n: int = 1024) -> Loop:
+    """mgrid's residual: ``r[i] = v[i] - a0*u[i] - a1*(u[i-1]+u[i+1])``."""
+    b = LoopBuilder("mgrid_resid")
+    b.array("u", dim_sizes=(n + 2,))
+    b.array("v", dim_sizes=(n + 2,))
+    b.array("r", dim_sizes=(n + 2,))
+    um = b.load("u", b.idx(offset=0), name="um")
+    uc = b.load("u", b.idx(offset=1), name="uc")
+    up = b.load("u", b.idx(offset=2), name="up")
+    vc = b.load("v", b.idx(offset=1), name="vc")
+    t0 = b.mul(uc, const_f64(-1.0), name="t0")
+    t1 = b.mul(b.add(um, up, name="usum"), const_f64(0.5), name="t1")
+    t2 = b.sub(vc, t0, name="t2")
+    t3 = b.sub(t2, t1, name="t3")
+    b.store("r", b.idx(offset=1), t3)
+    return b.build()
+
+
+def complex_multiply(n: int = 512) -> Loop:
+    """nasa7-flavored: interleaved complex arrays give stride-2 memory
+    references, so the loads and stores are *not* vectorizable while the
+    arithmetic is — the case where full vectorization buys only transfer
+    traffic."""
+    b = LoopBuilder("complex_multiply")
+    b.array("a", dim_sizes=(2 * n,))
+    b.array("bv", dim_sizes=(2 * n,))
+    b.array("c", dim_sizes=(2 * n,))
+    ar = b.load("a", b.idx(coeff=2, offset=0), name="ar")
+    ai = b.load("a", b.idx(coeff=2, offset=1), name="ai")
+    br = b.load("bv", b.idx(coeff=2, offset=0), name="br")
+    bi = b.load("bv", b.idx(coeff=2, offset=1), name="bi")
+    rr = b.sub(b.mul(ar, br, name="p0"), b.mul(ai, bi, name="p1"), name="rr")
+    ri = b.add(b.mul(ar, bi, name="p2"), b.mul(ai, br, name="p3"), name="ri")
+    b.store("c", b.idx(coeff=2, offset=0), rr)
+    b.store("c", b.idx(coeff=2, offset=1), ri)
+    return b.build()
+
+
+def first_order_recurrence(n: int = 1024) -> Loop:
+    """``y[i] = a*y[i-1] + x[i]`` — a true loop-carried memory recurrence;
+    nothing here can be vectorized."""
+    b = LoopBuilder("first_order_recurrence")
+    b.array("x", dim_sizes=(n + 1,))
+    b.array("y", dim_sizes=(n + 1,))
+    ym = b.load("y", b.idx(offset=0), name="ym")
+    xi = b.load("x", b.idx(offset=1), name="xi")
+    t = b.mul(ym, const_f64(0.5), name="t")
+    u = b.add(t, xi, name="u")
+    b.store("y", b.idx(offset=1), u)
+    return b.build()
+
+
+def sum_and_scale(n: int = 1024) -> Loop:
+    """Mixed loop: a reduction (serial) plus an independent data-parallel
+    update — the canonical selective-vectorization opportunity."""
+    b = LoopBuilder("sum_and_scale")
+    b.array("x", dim_sizes=(n,))
+    b.array("z", dim_sizes=(n,))
+    s = b.carried("s", 0.0)
+    xi = b.load("x", b.idx(), name="xi")
+    sq = b.mul(xi, xi, name="sq")
+    t = b.mul(sq, const_f64(0.01), name="t")
+    u = b.add(t, xi, name="u")
+    b.store("z", b.idx(), u)
+    s2 = b.add(s, sq, name="s2")
+    b.carry("s", s2)
+    b.live_out(s2)
+    return b.build()
+
+
+def max_abs(n: int = 1024) -> Loop:
+    """``m = max(m, |x[i]|)`` — a max reduction (serial chain) feeding off
+    a vectorizable abs."""
+    b = LoopBuilder("max_abs")
+    b.array("x", dim_sizes=(n,))
+    m = b.carried("m", 0.0)
+    xi = b.load("x", b.idx(), name="xi")
+    a = b.absolute(xi, name="a")
+    m2 = b.maximum(m, a, name="m2")
+    b.carry("m", m2)
+    b.live_out(m2)
+    return b.build()
+
+
+def shift_by_vector_length(n: int = 1024, shift: int = 4) -> Loop:
+    """``a[i+shift] = a[i] * c`` — a dependence cycle whose distance
+    permits vectorization when ``shift >= VL`` (paper Section 3)."""
+    b = LoopBuilder("shift_by_vl")
+    b.array("a", dim_sizes=(n + shift,))
+    t = b.load("a", b.idx(), name="t")
+    u = b.mul(t, const_f64(0.99), name="u")
+    b.store("a", b.idx(offset=shift), u)
+    return b.build()
+
+
+def integer_kernel(n: int = 1024) -> Loop:
+    """Integer streaming update — exercises the int register file and the
+    shared int/fp vector unit."""
+    b = LoopBuilder("integer_kernel")
+    b.array("x", dim_sizes=(n,), dtype=ScalarType.I64)
+    b.array("z", dim_sizes=(n,), dtype=ScalarType.I64)
+    from repro.ir.values import const_i64
+
+    xi = b.load("x", b.idx(), name="xi")
+    t = b.mul(xi, const_i64(3), name="t")
+    u = b.add(t, const_i64(7), name="u")
+    b.store("z", b.idx(), u)
+    return b.build()
+
+
+def matvec_row(n: int = 256) -> Loop:
+    """One row of a matrix-vector product: ``s += a(j, i) * x(i)`` with
+    the row index ``j`` a symbolic loop invariant — the inner loop of the
+    classic dense kernel.  The reduction serializes; the loads and the
+    multiply are data parallel."""
+    b = LoopBuilder("matvec_row")
+    b.bind_symbol("j", 5)
+    b.array("a", dim_sizes=(64, n))
+    b.array("x", dim_sizes=(n,))
+    s = b.carried("s", 0.0)
+    aji = b.load("a", b.idx2(b.aff(j=1), b.aff(1, 0)), name="aji")
+    xi = b.load("x", b.idx(), name="xi")
+    t = b.mul(aji, xi, name="t")
+    s2 = b.add(s, t, name="s2")
+    b.carry("s", s2)
+    b.live_out(s2)
+    return b.build()
+
+
+def stencil2d_row(n: int = 256) -> Loop:
+    """One row of a five-point 2D stencil: reads the row above, the row
+    below, and three neighbors in the current row of a 2D array, writing
+    a second array — the inner loop of mgrid/swim-style relaxations."""
+    b = LoopBuilder("stencil2d_row")
+    b.bind_symbol("j", 7)
+    b.array("u", dim_sizes=(64, n + 2))
+    b.array("v", dim_sizes=(64, n + 2))
+    up = b.load("u", b.idx2(b.aff(offset=-1, j=1), b.aff(1, 1)), name="up")
+    dn = b.load("u", b.idx2(b.aff(offset=1, j=1), b.aff(1, 1)), name="dn")
+    lf = b.load("u", b.idx2(b.aff(j=1), b.aff(1, 0)), name="lf")
+    ct = b.load("u", b.idx2(b.aff(j=1), b.aff(1, 1)), name="ct")
+    rt = b.load("u", b.idx2(b.aff(j=1), b.aff(1, 2)), name="rt")
+    ring = b.add(b.add(up, dn, name="vsum"), b.add(lf, rt, name="hsum"), name="ring")
+    t = b.sub(ring, b.mul(ct, const_f64(4.0), name="c4"), name="t")
+    out = b.mul(t, const_f64(0.25), name="out")
+    b.store("v", b.idx2(b.aff(j=1), b.aff(1, 1)), out)
+    return b.build()
+
+
+def tridiag_forward(n: int = 1024) -> Loop:
+    """Forward elimination of a tridiagonal solve:
+    ``x[i] = d[i] - l[i] * x[i-1]`` — a first-order recurrence with a
+    multiply on the cycle; completely serial, and the divide-free inner
+    loop of many implicit solvers (apsi, turb3d)."""
+    b = LoopBuilder("tridiag_forward")
+    b.array("d", dim_sizes=(n + 1,))
+    b.array("lo", dim_sizes=(n + 1,))
+    b.array("xs", dim_sizes=(n + 1,))
+    xm = b.load("xs", b.idx(offset=0), name="xm")
+    li = b.load("lo", b.idx(offset=1), name="li")
+    di = b.load("d", b.idx(offset=1), name="di")
+    t = b.mul(li, xm, name="t")
+    u = b.sub(di, t, name="u")
+    b.store("xs", b.idx(offset=1), u)
+    return b.build()
+
+
+ALL_KERNELS = {
+    "dot_product": dot_product,
+    "saxpy": saxpy,
+    "vector_scale": vector_scale,
+    "stencil3": stencil3,
+    "relaxation": relaxation,
+    "shallow_water": shallow_water,
+    "mgrid_resid": mgrid_resid,
+    "complex_multiply": complex_multiply,
+    "first_order_recurrence": first_order_recurrence,
+    "sum_and_scale": sum_and_scale,
+    "max_abs": max_abs,
+    "shift_by_vl": shift_by_vector_length,
+    "integer_kernel": integer_kernel,
+    "matvec_row": matvec_row,
+    "stencil2d_row": stencil2d_row,
+    "tridiag_forward": tridiag_forward,
+}

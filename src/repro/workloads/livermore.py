@@ -1,0 +1,145 @@
+"""Livermore loop kernels.
+
+The Livermore Fortran Kernels are the classic compiler-benchmark loop
+suite; the subset below is exactly the kernels expressible in this IR
+(single innermost counted loop, no control flow, the available operation
+set).  They make good demonstration and stress inputs because their
+vectorization characters span the whole spectrum: fully parallel (K1,
+K7, K12), reductions (K3), and tight recurrences (K5, K11).
+
+Numbering follows the original suite.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop
+from repro.ir.values import const_f64
+
+
+def k1_hydro(n: int = 1024) -> Loop:
+    """Kernel 1 — hydro fragment:
+    ``x[i] = q + y[i] * (r*z[i+10] + t*z[i+11])``.  Fully parallel."""
+    b = LoopBuilder("livermore_k1")
+    b.array("x", dim_sizes=(n + 12,))
+    b.array("y", dim_sizes=(n + 12,))
+    b.array("z", dim_sizes=(n + 12,))
+    q = b.carried("q", 0.5)
+    r = b.carried("r", 0.25)
+    t = b.carried("t", 0.125)
+    z10 = b.load("z", b.idx(offset=10), name="z10")
+    z11 = b.load("z", b.idx(offset=11), name="z11")
+    yi = b.load("y", b.idx(), name="yi")
+    inner = b.add(b.mul(r, z10, name="rz"), b.mul(t, z11, name="tz"), name="inner")
+    xi = b.add(q, b.mul(yi, inner, name="yinner"), name="xi")
+    b.store("x", b.idx(), xi)
+    return b.build()
+
+
+def k3_inner_product(n: int = 1024) -> Loop:
+    """Kernel 3 — inner product: ``q += z[i] * x[i]``.  A reduction."""
+    b = LoopBuilder("livermore_k3")
+    b.array("z", dim_sizes=(n,))
+    b.array("x", dim_sizes=(n,))
+    q = b.carried("q", 0.0)
+    zi = b.load("z", b.idx(), name="zi")
+    xi = b.load("x", b.idx(), name="xi")
+    q2 = b.add(q, b.mul(zi, xi, name="p"), name="q2")
+    b.carry("q", q2)
+    b.live_out(q2)
+    return b.build()
+
+
+def k5_tridiag(n: int = 1024) -> Loop:
+    """Kernel 5 — tri-diagonal elimination, below diagonal:
+    ``x[i] = z[i] * (y[i] - x[i-1])``.  A first-order recurrence; nothing
+    on the cycle vectorizes."""
+    b = LoopBuilder("livermore_k5")
+    b.array("x", dim_sizes=(n + 1,))
+    b.array("y", dim_sizes=(n + 1,))
+    b.array("z", dim_sizes=(n + 1,))
+    xm = b.load("x", b.idx(offset=0), name="xm")
+    yi = b.load("y", b.idx(offset=1), name="yi")
+    zi = b.load("z", b.idx(offset=1), name="zi")
+    xi = b.mul(zi, b.sub(yi, xm, name="d"), name="xi")
+    b.store("x", b.idx(offset=1), xi)
+    return b.build()
+
+
+def k7_equation_of_state(n: int = 1024) -> Loop:
+    """Kernel 7 — equation of state fragment: a deep, fully parallel
+    floating-point expression — the selective-vectorization sweet spot."""
+    b = LoopBuilder("livermore_k7")
+    b.array("x", dim_sizes=(n + 6,))
+    b.array("y", dim_sizes=(n + 6,))
+    b.array("u", dim_sizes=(n + 6,))
+    r = b.carried("r", 0.5)
+    t = b.carried("t", 0.25)
+    u0 = b.load("u", b.idx(offset=0), name="u0")
+    u1 = b.load("u", b.idx(offset=1), name="u1")
+    u2 = b.load("u", b.idx(offset=2), name="u2")
+    u3 = b.load("u", b.idx(offset=3), name="u3")
+    u4 = b.load("u", b.idx(offset=4), name="u4")
+    u5 = b.load("u", b.idx(offset=5), name="u5")
+    yi = b.load("y", b.idx(), name="yi")
+    e1 = b.add(u1, b.mul(r, b.add(u2, b.mul(t, u3, name="tu3"), name="i1"), name="ri"), name="e1")
+    e2 = b.add(u4, b.mul(r, b.add(u5, b.mul(t, e1, name="te"), name="i2"), name="ro"), name="e2")
+    xi = b.add(u0, b.mul(yi, e2, name="ye"), name="xi")
+    b.store("x", b.idx(), xi)
+    return b.build()
+
+
+def k11_first_sum(n: int = 1024) -> Loop:
+    """Kernel 11 — first sum (prefix sum): ``x[i] = x[i-1] + y[i]``.
+    The canonical serial scan."""
+    b = LoopBuilder("livermore_k11")
+    b.array("x", dim_sizes=(n + 1,))
+    b.array("y", dim_sizes=(n + 1,))
+    xm = b.load("x", b.idx(offset=0), name="xm")
+    yi = b.load("y", b.idx(offset=1), name="yi")
+    xi = b.add(xm, yi, name="xi")
+    b.store("x", b.idx(offset=1), xi)
+    return b.build()
+
+
+def k12_first_difference(n: int = 1024) -> Loop:
+    """Kernel 12 — first difference: ``x[i] = y[i+1] - y[i]``.  Fully
+    parallel, memory bound."""
+    b = LoopBuilder("livermore_k12")
+    b.array("x", dim_sizes=(n + 1,))
+    b.array("y", dim_sizes=(n + 1,))
+    y0 = b.load("y", b.idx(offset=0), name="y0")
+    y1 = b.load("y", b.idx(offset=1), name="y1")
+    xi = b.sub(y1, y0, name="xi")
+    b.store("x", b.idx(), xi)
+    return b.build()
+
+
+def k10_difference_predictors(n: int = 1024) -> Loop:
+    """Kernel 10 — difference predictors: a cascade of running
+    differences through ten columns of a 2D array, all parallel across
+    ``i`` (the original's serial dimension is the column index, which is
+    unrolled here)."""
+    b = LoopBuilder("livermore_k10")
+    cols = 12
+    b.array("px", dim_sizes=(cols, n))
+    b.array("cx", dim_sizes=(n,))
+    br = b.load("cx", b.idx(), name="br")
+    prev = br
+    for c in range(4, 10):
+        pc = b.load("px", b.idx2(b.aff(offset=c), b.aff(1, 0)), name=f"p{c}")
+        diff = b.sub(prev, pc, name=f"d{c}")
+        b.store("px", b.idx2(b.aff(offset=c - 4), b.aff(1, 0)), diff)
+        prev = diff
+    return b.build()
+
+
+LIVERMORE_KERNELS = {
+    "k1_hydro": k1_hydro,
+    "k3_inner_product": k3_inner_product,
+    "k5_tridiag": k5_tridiag,
+    "k7_equation_of_state": k7_equation_of_state,
+    "k10_difference_predictors": k10_difference_predictors,
+    "k11_first_sum": k11_first_sum,
+    "k12_first_difference": k12_first_difference,
+}

@@ -1,0 +1,73 @@
+"""Shared fixtures: machines and reference loops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.machine.configs import figure1_machine, paper_machine
+
+
+@pytest.fixture
+def paper():
+    return paper_machine()
+
+
+@pytest.fixture
+def toy():
+    return figure1_machine()
+
+
+def build_dot_product(n: int = 1024):
+    b = LoopBuilder("dot")
+    b.array("x", dim_sizes=(n,))
+    b.array("y", dim_sizes=(n,))
+    s = b.carried("s", 0.0)
+    xi = b.load("x", b.idx(), name="xi")
+    yi = b.load("y", b.idx(), name="yi")
+    t = b.mul(xi, yi, name="t")
+    s2 = b.add(s, t, name="s2")
+    b.carry("s", s2)
+    b.live_out(s2)
+    return b.build()
+
+
+def build_saxpy(n: int = 1024):
+    b = LoopBuilder("saxpy")
+    b.array("x", dim_sizes=(n,))
+    b.array("y", dim_sizes=(n,))
+    a = b.carried("a", 2.5)
+    xi = b.load("x", b.idx(), name="xi")
+    yi = b.load("y", b.idx(), name="yi")
+    t = b.mul(a, xi, name="t")
+    u = b.add(t, yi, name="u")
+    b.store("y", b.idx(), u)
+    return b.build()
+
+
+def build_stream(n: int = 1024):
+    """z[i] = x[i] + y[i] — fully parallel, no carried state."""
+    b = LoopBuilder("stream")
+    b.array("x", dim_sizes=(n,))
+    b.array("y", dim_sizes=(n,))
+    b.array("z", dim_sizes=(n,))
+    xi = b.load("x", b.idx(), name="xi")
+    yi = b.load("y", b.idx(), name="yi")
+    t = b.add(xi, yi, name="t")
+    b.store("z", b.idx(), t)
+    return b.build()
+
+
+@pytest.fixture
+def dot_loop():
+    return build_dot_product()
+
+
+@pytest.fixture
+def saxpy_loop():
+    return build_saxpy()
+
+
+@pytest.fixture
+def stream_loop():
+    return build_stream()

@@ -1,0 +1,120 @@
+"""Tests for the bin-packing machinery (Figure 2, lines 33-70)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.operations import OpKind
+from repro.ir.types import ScalarType
+from repro.machine.configs import paper_machine
+from repro.vectorize.bins import Bins, placement_freedom
+
+F64 = ScalarType.F64
+I64 = ScalarType.I64
+
+
+@pytest.fixture
+def bins(paper):
+    return Bins(paper)
+
+
+def info(paper, kind, dtype=F64, vector=False):
+    return paper.opcode_info_for(kind, dtype, vector)
+
+
+class TestBins:
+    def test_starts_empty(self, bins):
+        assert bins.high_water_mark() == 0
+        assert bins.sum_of_squares() == 0
+
+    def test_single_reservation(self, bins, paper):
+        bins.reserve_least_used(info(paper, OpKind.ADD), key=1)
+        assert bins.high_water_mark() == 1
+
+    def test_alternatives_balance(self, bins, paper):
+        # 2 fp units: two fp adds share the high-water mark of 1.
+        bins.reserve_least_used(info(paper, OpKind.ADD), key=1)
+        bins.reserve_least_used(info(paper, OpKind.ADD), key=2)
+        assert bins.high_water_mark() == 1
+        bins.reserve_least_used(info(paper, OpKind.ADD), key=3)
+        assert bins.high_water_mark() == 2
+
+    def test_issue_slots_fill_across_six(self, bins, paper):
+        for k in range(6):
+            bins.reserve_least_used(info(paper, OpKind.ADD, I64), key=k)
+        # 6 ops over 6 slots, but only 4 int units -> int is the constraint
+        assert bins.high_water_mark() == 2
+
+    def test_blocking_divide_weights(self, bins, paper):
+        bins.reserve_least_used(info(paper, OpKind.DIV), key=1)
+        assert bins.high_water_mark() == 32
+
+    def test_release_restores_exactly(self, bins, paper):
+        bins.reserve_least_used(info(paper, OpKind.ADD), key="a")
+        snapshot = dict(bins.weights)
+        bins.reserve_least_used(info(paper, OpKind.MUL), key="b")
+        bins.release("b")
+        assert bins.weights == snapshot
+
+    def test_release_unknown_key_is_noop(self, bins):
+        bins.release("ghost")
+        assert bins.high_water_mark() == 0
+
+    def test_double_release_detected(self, bins, paper):
+        bins.reserve_least_used(info(paper, OpKind.ADD), key="a")
+        ledger = list(bins.reservations["a"])
+        bins.release("a")
+        bins.reservations["a"] = ledger
+        with pytest.raises(RuntimeError):
+            bins.release("a")
+
+    def test_copy_is_independent(self, bins, paper):
+        bins.reserve_least_used(info(paper, OpKind.ADD), key="a")
+        clone = bins.copy()
+        clone.reserve_least_used(info(paper, OpKind.ADD), key="b")
+        assert bins.high_water_mark() == 1
+        assert "b" not in bins.reservations
+
+    def test_squared_tiebreak_spreads_load(self, bins, paper):
+        """When the high-water mark is unaffected, reservations spread
+        across alternatives (minimizing the sum of squares)."""
+        for k in range(4):
+            bins.reserve_least_used(info(paper, OpKind.ADD, I64), key=k)
+        int_weights = [bins.weights[f"int{i}"] for i in range(4)]
+        assert int_weights == [1, 1, 1, 1]
+
+    @given(st.lists(st.sampled_from(["add", "mul", "load", "store"]), max_size=24))
+    def test_hwm_equals_max_weight_invariant(self, kinds):
+        paper = paper_machine()
+        bins = Bins(paper)
+        for i, k in enumerate(kinds):
+            kind = {"add": OpKind.ADD, "mul": OpKind.MUL,
+                    "load": OpKind.LOAD, "store": OpKind.STORE}[k]
+            bins.reserve_least_used(info(paper, kind), key=i)
+        assert bins.high_water_mark() == max(bins.weights.values())
+        total = sum(bins.weights.values())
+        # Every op reserves exactly slot + one unit = 2 cycles.
+        assert total == 2 * len(kinds)
+
+    @given(st.lists(st.sampled_from(["add", "mul", "load"]), min_size=1, max_size=16))
+    def test_release_all_returns_to_empty(self, kinds):
+        paper = paper_machine()
+        bins = Bins(paper)
+        for i, k in enumerate(kinds):
+            kind = {"add": OpKind.ADD, "mul": OpKind.MUL, "load": OpKind.LOAD}[k]
+            bins.reserve_least_used(info(paper, kind), key=i)
+        for i in range(len(kinds)):
+            bins.release(i)
+        assert all(w == 0 for w in bins.weights.values())
+
+
+class TestPlacementFreedom:
+    def test_fp_op_freedom(self, paper):
+        # slot(6) x fp(2)
+        assert placement_freedom(paper, info(paper, OpKind.ADD)) == 12
+
+    def test_branch_is_most_constrained(self, paper):
+        assert placement_freedom(paper, info(paper, OpKind.CBR, I64)) == 6
+
+    def test_int_op_freedom(self, paper):
+        assert placement_freedom(paper, info(paper, OpKind.ADD, I64)) == 24

@@ -1,0 +1,96 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.compiler.__main__ import main as compiler_main
+from repro.evaluation.__main__ import main as evaluation_main
+from repro.evaluation.report import generate_report, write_report
+
+DSL = """
+loop cli_demo
+array x(2048), y(2048), z(2048)
+carry s = 0.0
+do i
+    t = x(i) * y(i)
+    z(i) = t + x(i)
+    s = s + t
+end
+result s
+"""
+
+
+@pytest.fixture
+def dsl_file(tmp_path):
+    path = tmp_path / "kernel.loop"
+    path.write_text(DSL)
+    return str(path)
+
+
+class TestCompilerCLI:
+    def test_default_invocation(self, dsl_file, capsys):
+        assert compiler_main([dsl_file]) == 0
+        out = capsys.readouterr().out
+        assert "selective on paper-vliw" in out
+        assert "II/iteration" in out
+
+    def test_all_sections(self, dsl_file, capsys):
+        assert compiler_main([dsl_file, "--all", "--trip", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "dependence analysis" in out
+        assert "partition:" in out
+        assert "kernel of" in out
+        assert "carried s =" in out
+
+    def test_machine_and_strategy_selection(self, dsl_file, capsys):
+        assert compiler_main(
+            [dsl_file, "--machine", "toy", "--strategy", "traditional"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "traditional on figure1-toy" in out
+
+    def test_pipeline_listing(self, dsl_file, capsys):
+        assert compiler_main([dsl_file, "--pipeline", "--trip", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "prologue" in out
+
+    def test_stdin_input(self, dsl_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(DSL))
+        assert compiler_main(["-", "--strategy", "baseline"]) == 0
+        assert "baseline on paper-vliw" in capsys.readouterr().out
+
+    def test_optimize_flag(self, dsl_file, capsys):
+        assert compiler_main([dsl_file, "--optimize", "--ir"]) == 0
+
+    def test_bad_strategy_rejected(self, dsl_file):
+        with pytest.raises(SystemExit):
+            compiler_main([dsl_file, "--strategy", "quantum"])
+
+
+class TestEvaluationCLI:
+    def test_figure1(self, capsys):
+        assert evaluation_main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "1.00" in out
+
+    def test_table_subset(self, capsys):
+        assert (
+            evaluation_main(["table2", "--benchmarks", "101.tomcatv"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "101.tomcatv" in out and "Selective" in out
+
+
+class TestReport:
+    def test_generate_report_single_benchmark(self):
+        text = generate_report(names=("101.tomcatv",))
+        assert "## Table 2" in text
+        assert "## Table 5" in text
+        assert "101.tomcatv" in text
+        assert "(1.38)" in text  # paper value rendered alongside
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(str(path), names=("101.tomcatv",))
+        assert path.read_text() == text

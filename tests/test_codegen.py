@@ -1,0 +1,142 @@
+"""Tests for kernel-only code generation (rotating registers +
+stage predicates)."""
+
+import pytest
+
+from repro.compiler.driver import compile_loop
+from repro.compiler.strategies import Strategy
+from repro.dependence.analysis import analyze_loop
+from repro.machine.configs import paper_machine
+from repro.pipeline.codegen import (
+    PredicatedOp,
+    RotatingRef,
+    generate_kernel_only_code,
+)
+from repro.pipeline.mve import modulo_variable_expansion
+from repro.workloads.generator import generate
+from repro.workloads.kernels import ALL_KERNELS
+
+
+def codegen_for(kernel, strategy=Strategy.SELECTIVE):
+    machine = paper_machine()
+    loop = ALL_KERNELS[kernel]() if isinstance(kernel, str) else kernel
+    compiled = compile_loop(loop, machine, strategy)
+    unit = compiled.units[0]
+    graph = analyze_loop(unit.transform.loop, machine.vector_length).graph
+    return generate_kernel_only_code(unit.schedule, graph), unit, graph
+
+
+class TestStructure:
+    def test_rows_cover_all_ops(self):
+        code, unit, _ = codegen_for("relaxation")
+        assert len(code.rows) == unit.schedule.ii
+        total = sum(len(row) for row in code.rows)
+        assert total == len(unit.transform.loop.body)
+
+    def test_every_op_predicated_by_its_stage(self):
+        code, unit, _ = codegen_for("stencil3")
+        schedule = unit.schedule
+        for row in code.rows:
+            for pop in row:
+                assert pop.stage == schedule.stage_of(pop.op.uid)
+
+    def test_epilogue_count_is_stage_count(self):
+        code, unit, _ = codegen_for("saxpy")
+        assert code.epilogue_count == unit.schedule.stage_count
+
+
+class TestRotation:
+    @pytest.mark.parametrize(
+        "kernel", ["dot_product", "saxpy", "relaxation", "sum_and_scale"]
+    )
+    def test_offsets_nonnegative_and_bounded(self, kernel):
+        code, unit, _ = codegen_for(kernel)
+        stages = unit.schedule.stage_count
+        for row in code.rows:
+            for pop in row:
+                for src in pop.srcs:
+                    if isinstance(src, RotatingRef):
+                        assert 0 <= src.offset <= stages
+
+    def test_same_iteration_same_stage_offset_zero(self):
+        """A consumer in the producer's own stage reads offset 0 — no
+        kernel boundary was crossed."""
+        code, unit, _ = codegen_for("saxpy")
+        schedule = unit.schedule
+        stage_of_value = {}
+        for op in unit.transform.loop.body:
+            if op.dest is not None:
+                stage_of_value[op.dest.name] = schedule.stage_of(op.uid)
+        for row in code.rows:
+            for pop in row:
+                for src in pop.srcs:
+                    if isinstance(src, RotatingRef):
+                        # offset equals consumer stage - producer stage
+                        # (+1 for carried), so equal stages -> 0 unless
+                        # the value crossed the back-edge.
+                        assert src.offset >= 0
+
+    def test_reduction_offset_formula(self):
+        """The accumulator read of the dot-product reduction crosses one
+        iteration boundary (distance 1): its rotation offset must equal
+        stage(consumer) + 1 - stage(producer)."""
+        code, unit, _ = codegen_for("dot_product", Strategy.BASELINE)
+        schedule = unit.schedule
+        loop = unit.transform.loop
+        add_ops = [
+            op for op in loop.body
+            if op.kind.value == "add" and op.dtype.is_float
+        ]
+        first_add, last_add = add_ops[0], add_ops[-1]
+        # first_add reads the carried entry produced by last_add one
+        # iteration earlier
+        expected = (
+            schedule.stage_of(first_add.uid)
+            + 1
+            - schedule.stage_of(last_add.uid)
+        )
+        pop = next(
+            p for row in code.rows for p in row if p.op.uid == first_add.uid
+        )
+        acc_base = code.register_bases[last_add.dest]
+        acc_refs = [
+            s
+            for s in pop.srcs
+            if isinstance(s, RotatingRef)
+            and (s.file, s.base) == (acc_base.file, acc_base.base)
+        ]
+        assert acc_refs and acc_refs[0].offset == expected
+
+    def test_rotating_registers_cover_mve_demand(self):
+        """Kernel-only rotation and modulo variable expansion must agree
+        on how many names each file needs (rotation needs at least the
+        MVE unroll depth worth of registers)."""
+        code, unit, graph = codegen_for("relaxation")
+        mve = modulo_variable_expansion(unit.schedule, graph)
+        needed = code.rotating_registers_needed()
+        for file, count in mve.registers_per_file.items():
+            assert needed.get(file, 0) + len(mve.copies_per_value) >= count
+
+    def test_invariants_use_static_registers(self):
+        code, unit, _ = codegen_for("saxpy")
+        rendered = code.listing()
+        assert "%a" in rendered  # the invariant scalar stays non-rotating
+
+
+class TestListing:
+    def test_listing_shape(self):
+        code, unit, _ = codegen_for("stencil3")
+        text = code.listing()
+        assert "kernel-only code" in text
+        assert "br.ctop" in text
+        assert "(p0)" in text
+
+    def test_generated_loops_codegen_cleanly(self):
+        machine = paper_machine()
+        for archetype, seed in (("stencil", 3), ("fp_chain", 11), ("mixed", 4)):
+            loop = generate(archetype, seed)
+            compiled = compile_loop(loop, machine, Strategy.SELECTIVE)
+            unit = compiled.units[0]
+            graph = analyze_loop(unit.transform.loop, machine.vector_length).graph
+            code = generate_kernel_only_code(unit.schedule, graph)
+            assert code.listing()

@@ -1,0 +1,235 @@
+"""Tests for dependence graph construction, SCCs, and vectorizability."""
+
+import pytest
+
+from repro.dependence.analysis import analyze_loop, build_dependence_graph
+from repro.dependence.graph import DepEdge, DependenceGraph, DepKind, Via
+from repro.dependence.scc import scc_membership, tarjan_sccs
+from repro.ir.builder import LoopBuilder
+from repro.ir.values import const_f64
+
+
+def edges_between(graph, src, dst):
+    return [e for e in graph.successors(src.uid) if e.dst == dst.uid]
+
+
+class TestRegisterEdges:
+    def test_flow_edges(self, dot_loop):
+        graph = build_dependence_graph(dot_loop)
+        load_x, load_y, mul, add = dot_loop.body
+        assert edges_between(graph, load_x, mul)
+        assert edges_between(graph, load_y, mul)
+        assert edges_between(graph, mul, add)
+
+    def test_carried_self_edge_on_reduction(self, dot_loop):
+        graph = build_dependence_graph(dot_loop)
+        add = dot_loop.body[-1]
+        self_edges = [e for e in graph.successors(add.uid) if e.dst == add.uid]
+        assert len(self_edges) == 1
+        assert self_edges[0].distance == 1
+        assert self_edges[0].via is Via.CARRIED
+
+    def test_constant_carried_has_no_edge(self, saxpy_loop):
+        graph = build_dependence_graph(saxpy_loop)
+        assert all(e.via is not Via.CARRIED for e in graph.edges)
+
+
+class TestMemoryEdges:
+    def _loop_with_offset(self, store_offset):
+        b = LoopBuilder("l")
+        b.array("a", dim_sizes=(2048,))
+        t = b.load("a", b.idx(), name="t")
+        u = b.mul(t, const_f64(2.0), name="u")
+        b.store("a", b.idx(offset=store_offset), u)
+        return b.build()
+
+    def test_forward_flow_distance(self):
+        loop = self._loop_with_offset(4)
+        graph = build_dependence_graph(loop)
+        load, _, store = loop.body
+        edges = edges_between(graph, store, load)
+        assert any(e.distance == 4 and e.kind is DepKind.FLOW for e in edges)
+
+    def test_same_location_anti(self):
+        loop = self._loop_with_offset(0)
+        graph = build_dependence_graph(loop)
+        load, _, store = loop.body
+        edges = edges_between(graph, load, store)
+        assert any(e.kind is DepKind.ANTI and e.distance == 0 for e in edges)
+
+    def test_disjoint_arrays_no_edges(self, stream_loop):
+        graph = build_dependence_graph(stream_loop)
+        mem_edges = [e for e in graph.edges if e.via is Via.MEMORY]
+        assert not mem_edges
+
+    def test_loads_never_conflict(self):
+        b = LoopBuilder("l")
+        b.array("a", dim_sizes=(2048,))
+        t = b.load("a", b.idx(), name="t")
+        u = b.load("a", b.idx(), name="u")
+        b.array("z", dim_sizes=(2048,))
+        b.store("z", b.idx(), b.add(t, u))
+        graph = build_dependence_graph(b.build())
+        assert not [
+            e
+            for e in graph.edges
+            if e.via is Via.MEMORY and e.src != e.dst and "z" not in str(e)
+            and graph.ops[e.src].array == "a"
+        ]
+
+    def test_unknown_alias_creates_cycle(self):
+        b = LoopBuilder("l")
+        b.array("a", dim_sizes=(2048,))
+        t = b.load("a", b.idx(j=1), name="t")
+        b.store("a", b.idx(k=1), t)
+        loop = b.build()
+        graph = build_dependence_graph(loop)
+        load, store = loop.body
+        fwd = edges_between(graph, load, store)
+        back = edges_between(graph, store, load)
+        assert fwd and back
+        assert any(not e.exact for e in fwd + back)
+
+    def test_invariant_store_self_output(self):
+        b = LoopBuilder("l")
+        b.array("a", dim_sizes=(2048,))
+        b.array("x", dim_sizes=(2048,))
+        t = b.load("x", b.idx(), name="t")
+        b.store("a", b.idx(coeff=0, offset=3), t)
+        loop = b.build()
+        graph = build_dependence_graph(loop)
+        store = loop.body[1]
+        self_edges = [e for e in graph.successors(store.uid) if e.dst == store.uid]
+        assert self_edges and self_edges[0].kind is DepKind.OUTPUT
+
+
+class TestTarjan:
+    def test_simple_cycle(self):
+        edges = {1: [2], 2: [3], 3: [1], 4: [1]}
+        sccs = tarjan_sccs([1, 2, 3, 4], lambda n: edges.get(n, []))
+        sizes = sorted(len(c) for c in sccs)
+        assert sizes == [1, 3]
+
+    def test_reverse_topological_emission(self):
+        edges = {1: [2], 2: [3]}
+        sccs = tarjan_sccs([1, 2, 3], lambda n: edges.get(n, []))
+        order = [c[0] for c in sccs]
+        assert order.index(3) < order.index(2) < order.index(1)
+
+    def test_membership(self):
+        member = scc_membership([[1, 2], [3]])
+        assert member[1] == member[2] == 0
+        assert member[3] == 1
+
+    def test_large_chain_no_recursion_blowup(self):
+        n = 5000
+        edges = {i: [i + 1] for i in range(n - 1)}
+        sccs = tarjan_sccs(range(n), lambda k: edges.get(k, []))
+        assert len(sccs) == n
+
+
+class TestVectorizability:
+    def test_reduction_add_not_vectorizable(self, dot_loop, paper):
+        dep = analyze_loop(dot_loop, 2)
+        load_x, load_y, mul, add = dot_loop.body
+        assert dep.is_vectorizable(load_x)
+        assert dep.is_vectorizable(mul)
+        assert not dep.is_vectorizable(add)
+
+    def test_strided_memory_not_vectorizable(self):
+        b = LoopBuilder("l")
+        b.array("a", dim_sizes=(4096,))
+        b.array("z", dim_sizes=(4096,))
+        t = b.load("a", b.idx(coeff=2), name="t")
+        u = b.mul(t, t, name="u")
+        b.store("z", b.idx(), u)
+        loop = b.build()
+        dep = analyze_loop(loop, 2)
+        load, mul, store = loop.body
+        assert not dep.is_vectorizable(load)
+        assert dep.is_vectorizable(mul)
+        assert dep.is_vectorizable(store)
+
+    def test_shifted_cycle_depends_on_vl(self):
+        b = LoopBuilder("l")
+        b.array("a", dim_sizes=(4096,))
+        t = b.load("a", b.idx(), name="t")
+        b.store("a", b.idx(offset=4), t)
+        loop = b.build()
+        for vl, expected in ((2, True), (4, True), (8, False)):
+            dep = analyze_loop(loop, vl)
+            assert all(
+                dep.is_vectorizable(op) == expected for op in loop.body
+            ), vl
+
+    def test_memory_recurrence_not_vectorizable(self):
+        b = LoopBuilder("l")
+        b.array("y", dim_sizes=(4096,))
+        t = b.load("y", b.idx(offset=0), name="t")
+        u = b.mul(t, const_f64(0.5), name="u")
+        b.store("y", b.idx(offset=1), u)
+        loop = b.build()
+        dep = analyze_loop(loop, 2)
+        assert not any(dep.is_vectorizable(op) for op in loop.body)
+
+    def test_unknown_alias_blocks_vectorization(self):
+        b = LoopBuilder("l")
+        b.array("a", dim_sizes=(4096,))
+        t = b.load("a", b.idx(j=1), name="t")
+        b.store("a", b.idx(k=1), t)
+        loop = b.build()
+        dep = analyze_loop(loop, 2)
+        assert not any(dep.is_vectorizable(op) for op in loop.body)
+
+    def test_in_cycle_helper(self, dot_loop):
+        dep = analyze_loop(dot_loop, 2)
+        add = dot_loop.body[-1]
+        mul = dot_loop.body[2]
+        assert dep.in_cycle(add.uid)
+        assert not dep.in_cycle(mul.uid)
+
+
+class TestVectorSpanEdges:
+    def test_vector_store_span_conflicts_detected(self):
+        """A vector store spanning [2j, 2j+1] must conflict with a scalar
+        load of 2j+1 even though the lane-0 subscripts differ."""
+        from repro.ir.operations import Operation, OpKind
+        from repro.ir.subscripts import AffineExpr, Subscript
+        from repro.ir.types import ScalarType, VectorType
+        from repro.ir.values import VirtualRegister
+        from repro.ir.loop import ArrayInfo, Loop
+
+        v = VirtualRegister("v", VectorType(ScalarType.F64, 2))
+        vload = Operation(
+            OpKind.LOAD,
+            ScalarType.F64,
+            dest=v,
+            array="a",
+            subscript=Subscript((AffineExpr(2, 0),)),
+            is_vector=True,
+        )
+        store = Operation(
+            OpKind.STORE,
+            ScalarType.F64,
+            srcs=(VirtualRegister("w", ScalarType.F64),),
+            array="a",
+            subscript=Subscript((AffineExpr(2, 1),)),
+        )
+        w_def = Operation(
+            OpKind.COPY,
+            ScalarType.F64,
+            dest=VirtualRegister("w", ScalarType.F64),
+            srcs=(VirtualRegister("v", VectorType(ScalarType.F64, 2)),),
+        )
+        loop = Loop(
+            "span",
+            (vload, w_def, store),
+            arrays={"a": ArrayInfo("a", ScalarType.F64, (4096,))},
+        )
+        graph = build_dependence_graph(loop)
+        edges = [
+            e
+            for e in graph.edges
+            if {e.src, e.dst} == {vload.uid, store.uid}
+        ]
+        assert edges, "span overlap must be detected"

@@ -1,0 +1,135 @@
+"""Tests for the subscript dependence tests (ZIV / SIV / GCD / Banerjee)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependence.tests import INDEPENDENT, UNKNOWN, Distance
+from repro.dependence.tests import test_dimension as dim_test
+from repro.dependence.tests import test_subscripts as subs_test
+from repro.ir.subscripts import AffineExpr, Subscript
+
+
+def aff(coeff=0, offset=0, **syms):
+    return AffineExpr.of(coeff, offset, **syms)
+
+
+class TestZIV:
+    def test_same_constant_conflicts(self):
+        assert dim_test(aff(0, 5), aff(0, 5)) is UNKNOWN
+
+    def test_different_constants_independent(self):
+        assert dim_test(aff(0, 5), aff(0, 6)) is INDEPENDENT
+
+    def test_matching_symbols_cancel(self):
+        assert dim_test(aff(0, 5, j=1), aff(0, 5, j=1)) is UNKNOWN
+
+    def test_mismatched_symbols_unknown(self):
+        assert dim_test(aff(0, 5, j=1), aff(0, 5, k=1)) is UNKNOWN
+
+
+class TestStrongSIV:
+    def test_same_subscript_distance_zero(self):
+        assert dim_test(aff(1, 0), aff(1, 0)) == Distance(0)
+
+    def test_unit_offset_gives_distance(self):
+        # ref1 at x[i], ref2 at x[i-1]: conflict when i2 - 1 == i1 -> d=1
+        assert dim_test(aff(1, 0), aff(1, -1)) == Distance(1)
+
+    def test_negative_distance(self):
+        assert dim_test(aff(1, 0), aff(1, 1)) == Distance(-1)
+
+    def test_nondivisible_delta_independent(self):
+        # 2i and 2i+1 never meet
+        assert dim_test(aff(2, 0), aff(2, 1)) is INDEPENDENT
+
+    def test_strided_distance_scaled(self):
+        # 2i vs 2i-4: d = 2
+        assert dim_test(aff(2, 0), aff(2, -4)) == Distance(2)
+
+    def test_trip_count_bounds_distance(self):
+        assert dim_test(aff(1, 0), aff(1, -100), trip_count=50) is INDEPENDENT
+        assert dim_test(aff(1, 0), aff(1, -100), trip_count=200) == Distance(100)
+
+    @given(st.integers(1, 6), st.integers(-30, 30), st.integers(-30, 30))
+    def test_strong_siv_exactness(self, c, o1, o2):
+        """Whenever the test reports an exact distance d, iteration pairs
+        (i, i+d) really touch the same element; INDEPENDENT means no pair
+        does (checked exhaustively over a window)."""
+        result = dim_test(aff(c, o1), aff(c, o2))
+        touched = {
+            (i1, i2)
+            for i1 in range(40)
+            for i2 in range(40)
+            if c * i1 + o1 == c * i2 + o2
+        }
+        if isinstance(result, Distance):
+            assert all(i2 - i1 == result.d for i1, i2 in touched)
+            assert touched or abs(result.d) >= 40
+        else:
+            assert result is INDEPENDENT
+            assert not touched
+
+
+class TestGCD:
+    def test_gcd_rules_out(self):
+        # 2i vs 4i+1: parity mismatch
+        assert dim_test(aff(2, 0), aff(4, 1)) is INDEPENDENT
+
+    def test_gcd_admits_unknown(self):
+        assert dim_test(aff(2, 0), aff(4, 2)) is UNKNOWN
+
+    def test_one_invariant_one_varying(self):
+        # x[5] vs x[i]: conflicts whenever i == 5 -> crossing distances
+        assert dim_test(aff(0, 5), aff(1, 0)) is UNKNOWN
+
+    def test_banerjee_window(self):
+        # i vs 2i + 100 with 0 <= i < 10: ranges [0,9] and [100,118] disjoint
+        assert dim_test(aff(1, 0), aff(2, 100), trip_count=10) is INDEPENDENT
+
+    @given(
+        st.integers(-4, 4),
+        st.integers(-8, 8),
+        st.integers(-4, 4),
+        st.integers(-8, 8),
+    )
+    def test_independent_is_sound(self, c1, o1, c2, o2):
+        """INDEPENDENT must never be reported when some iteration pair
+        conflicts (soundness — the property that keeps transforms legal)."""
+        result = dim_test(aff(c1, o1), aff(c2, o2))
+        if result is INDEPENDENT:
+            for i1 in range(25):
+                for i2 in range(25):
+                    assert c1 * i1 + o1 != c2 * i2 + o2
+
+
+class TestSubscriptCombination:
+    def test_any_independent_dimension_wins(self):
+        s1 = Subscript.of(aff(0, 1), aff(1, 0))
+        s2 = Subscript.of(aff(0, 2), aff(1, 0))
+        assert subs_test(s1, s2) is INDEPENDENT
+
+    def test_exact_distances_must_agree(self):
+        s1 = Subscript.of(aff(1, 0), aff(1, 0))
+        s2 = Subscript.of(aff(1, -1), aff(1, -2))
+        assert subs_test(s1, s2) is INDEPENDENT
+
+    def test_agreeing_distances_combine(self):
+        s1 = Subscript.of(aff(1, 0), aff(1, 0))
+        s2 = Subscript.of(aff(1, -2), aff(1, -2))
+        assert subs_test(s1, s2) == Distance(2)
+
+    def test_unknown_dim_refined_by_exact_dim(self):
+        s1 = Subscript.of(aff(0, 3), aff(1, 0))
+        s2 = Subscript.of(aff(0, 3), aff(1, -1))
+        assert subs_test(s1, s2) == Distance(1)
+
+    def test_all_unknown_stays_unknown(self):
+        s1 = Subscript.of(aff(0, 3))
+        s2 = Subscript.of(aff(0, 3))
+        assert subs_test(s1, s2) is UNKNOWN
+
+    def test_rank_mismatch_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            subs_test(Subscript.linear(), Subscript.of(aff(1, 0), aff(1, 0)))

@@ -1,0 +1,220 @@
+"""Tests for the loop DSL: lexer, parser, and lowering."""
+
+import pytest
+
+from repro.frontend import parse_loop, parse_program
+from repro.frontend.lexer import SyntaxErrorDSL, TokenKind, tokenize
+from repro.frontend.lowering import LoweringError
+from repro.interp.interpreter import run_loop
+from repro.interp.memory import memory_for_loop
+from repro.ir.operations import OpKind
+from repro.ir.types import ScalarType
+
+
+class TestLexer:
+    def test_names_numbers_punct(self):
+        tokens = tokenize("x = a1 + 2.5e-1")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] is TokenKind.NAME
+        assert TokenKind.NUMBER in kinds
+        texts = [t.text for t in tokens]
+        assert "2.5e-1" in texts
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a = 1 # comment with * stuff\n")
+        assert all("comment" not in t.text for t in tokens)
+
+    def test_blank_lines_produce_no_tokens(self):
+        tokens = tokenize("\n\n\n")
+        assert tokens[-1].kind is TokenKind.EOF
+        assert len(tokens) == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(SyntaxErrorDSL):
+            tokenize("a = $b")
+
+    def test_locations(self):
+        tokens = tokenize("a = 1\nb = 2")
+        b_tok = [t for t in tokens if t.text == "b"][0]
+        assert b_tok.location.line == 2
+
+
+class TestParser:
+    def test_full_program(self):
+        program = parse_program(
+            """
+            loop demo
+            array x(100), y(100) : f64
+            array n(100) : i64
+            param a = 1.5
+            carry s = 0.0
+            sym j
+            do i
+                t = x(i) + a
+                y(i) = t
+                s = s + t
+            end
+            result s
+            """
+        )
+        assert program.name == "demo"
+        assert [a.name for a in program.arrays] == ["x", "y", "n"]
+        assert program.arrays[2].dtype is ScalarType.I64
+        assert program.params[0].value == 1.5
+        assert program.carries[0].name == "s"
+        assert program.syms[0].name == "j"
+        assert program.index == "i"
+        assert len(program.body) == 3
+        assert program.results == ["s"]
+
+    def test_multidim_array(self):
+        program = parse_program("array a(10, 20)\ndo i\na(j, i) = 1.0\nend\nsym j")
+        assert program.arrays[0].dims == (10, 20)
+
+    def test_align_clause(self):
+        program = parse_program("array a(10) align 1\ndo i\nend")
+        assert program.arrays[0].align == 1
+
+    def test_missing_end(self):
+        with pytest.raises(SyntaxErrorDSL):
+            parse_program("do i\n x = 1.0\n")
+
+    def test_precedence(self):
+        loop = parse_loop(
+            "array x(64), z(64)\ndo i\n z(i) = x(i) + x(i) * 2.0\nend"
+        )
+        kinds = [op.kind for op in loop.body if op.kind.is_arith]
+        assert kinds == [OpKind.MUL, OpKind.ADD]
+
+    def test_parenthesized_grouping(self):
+        loop = parse_loop(
+            "array x(64), z(64)\ndo i\n z(i) = (x(i) + x(i)) * 2.0\nend"
+        )
+        kinds = [op.kind for op in loop.body if op.kind.is_arith]
+        assert kinds == [OpKind.ADD, OpKind.MUL]
+
+    def test_functions(self):
+        loop = parse_loop(
+            "array x(64), z(64)\ndo i\n z(i) = max(abs(x(i)), sqrt(abs(x(i))))\nend"
+        )
+        kinds = {op.kind for op in loop.body}
+        assert {OpKind.ABS, OpKind.SQRT, OpKind.MAX} <= kinds
+
+
+class TestLowering:
+    def test_dot_product_roundtrip(self):
+        loop = parse_loop(
+            """
+            array x(256), y(256)
+            carry s = 0.0
+            do i
+                s = s + x(i) * y(i)
+            end
+            result s
+            """
+        )
+        mem = memory_for_loop(loop)
+        mem.arrays["x"] = [2.0] * 256
+        mem.arrays["y"] = [3.0] * 256
+        result = run_loop(loop, mem, 0, 10)
+        assert result.carried["s"] == 60.0
+
+    def test_sequential_name_rebinding(self):
+        loop = parse_loop(
+            """
+            array x(64), z(64)
+            do i
+                t = x(i) + 1.0
+                t = t * 2.0
+                z(i) = t
+            end
+            """
+        )
+        mem = memory_for_loop(loop)
+        mem.arrays["x"][0] = 4.0
+        run_loop(loop, mem, 0, 1)
+        assert mem.arrays["z"][0] == 10.0
+
+    def test_carry_reads_then_updates(self):
+        loop = parse_loop(
+            """
+            array z(64)
+            carry s = 1.0
+            do i
+                z(i) = s
+                s = s * 2.0
+            end
+            """
+        )
+        mem = memory_for_loop(loop)
+        run_loop(loop, mem, 0, 4)
+        assert mem.arrays["z"][:4] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_affine_subscripts(self):
+        loop = parse_loop(
+            "sym j\narray a(16, 64), z(64)\ndo i\n z(i) = a(j, 2*i+3)\nend"
+        )
+        load = loop.body[0]
+        inner = load.subscript.innermost
+        assert (inner.coeff, inner.offset) == (2, 3)
+        outer = load.subscript.dims[0]
+        assert outer.symbols == (("j", 1),)
+
+    def test_nonlinear_subscript_rejected(self):
+        with pytest.raises(LoweringError):
+            parse_loop("array a(64)\ndo i\n a(i*i) = 1.0\nend")
+
+    def test_float_subscript_rejected(self):
+        with pytest.raises(LoweringError):
+            parse_loop("array a(64)\ndo i\n a(1.5) = 1.0\nend")
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(LoweringError):
+            parse_loop("do i\n a(i) = 1.0\nend")
+
+    def test_undefined_name_rejected(self):
+        with pytest.raises(LoweringError):
+            parse_loop("array a(64)\ndo i\n a(i) = ghost\nend")
+
+    def test_index_outside_subscript_rejected(self):
+        with pytest.raises(LoweringError):
+            parse_loop("array a(64)\ndo i\n a(i) = i\nend" % ())
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(LoweringError):
+            parse_loop(
+                "array a(64) : i64\narray b(64) : f64\narray z(64)\n"
+                "do i\n z(i) = a(i) + b(i)\nend"
+            )
+
+    def test_int_constant_coerces_to_float(self):
+        loop = parse_loop("array z(64)\ndo i\n z(i) = 1 + 0.5\nend")
+        mem = memory_for_loop(loop)
+        run_loop(loop, mem, 0, 1)
+        assert mem.arrays["z"][0] == 1.5
+
+    def test_result_must_exist(self):
+        with pytest.raises(LoweringError):
+            parse_loop("array z(64)\ndo i\n z(i) = 1.0\nend\nresult ghost")
+
+    def test_compiles_through_all_strategies(self):
+        from repro.compiler.driver import compile_loop
+        from repro.compiler.strategies import ALL_STRATEGIES
+        from repro.machine.configs import paper_machine
+
+        loop = parse_loop(
+            """
+            array x(256), y(256), z(256)
+            carry s = 0.0
+            do i
+                t = x(i) * y(i)
+                z(i) = t + x(i)
+                s = s + t
+            end
+            result s
+            """
+        )
+        machine = paper_machine()
+        for strategy in ALL_STRATEGIES:
+            compiled = compile_loop(loop, machine, strategy)
+            assert compiled.invocation_cycles(100) > 0

@@ -1,0 +1,102 @@
+"""End-to-end integration: DSL source through every subsystem at once."""
+
+import pytest
+
+from repro.compiler import ALL_STRATEGIES, Strategy, compile_loop
+from repro.compiler.driver import CompiledLoop
+from repro.dependence import analyze_loop
+from repro.frontend import parse_loop
+from repro.interp import memory_for_loop, run_loop
+from repro.machine import paper_machine
+from repro.opt import optimize_loop
+from repro.pipeline import generate_kernel_only_code, modulo_variable_expansion
+from repro.simulate import simulate_pipeline
+
+SOURCE = """
+loop integration
+array a(4096), b(4096), out(4096), hist(4096)
+param w = 0.75
+carry acc = 0.0
+sym row = 2
+
+do i
+    left  = a(i) * w
+    right = b(i+1) * (1.0 - 0.75)
+    v = left + right
+    v = v * v + a(i)          # sequential rebinding
+    out(i) = v
+    hist(i) = max(abs(v), b(i))
+    acc = acc + left
+end
+
+result acc
+"""
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+@pytest.fixture(scope="module")
+def loop():
+    return optimize_loop(parse_loop(SOURCE))
+
+
+@pytest.fixture(scope="module")
+def reference(loop):
+    mem = memory_for_loop(loop, seed=77)
+    result = run_loop(loop, mem, 0, 91)
+    return mem.snapshot_user_arrays(), result.carried
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.value)
+def test_full_stack_equivalence(loop, machine, strategy, reference):
+    ref_mem, ref_carried = reference
+    compiled = compile_loop(loop, machine, strategy)
+    mem = memory_for_loop(loop, seed=77)
+    result = compiled.execute(mem, 91)
+    assert mem.snapshot_user_arrays() == ref_mem
+    assert result.carried["acc"] == pytest.approx(ref_carried["acc"], rel=1e-12)
+
+
+def test_selective_improves_over_baseline(loop, machine):
+    baseline = compile_loop(loop, machine, Strategy.BASELINE)
+    selective = compile_loop(loop, machine, Strategy.SELECTIVE)
+    assert (
+        selective.res_mii_per_iteration() <= baseline.res_mii_per_iteration()
+    )
+
+
+def test_schedule_runs_in_pipeline_simulator(loop, machine, reference):
+    ref_mem, _ = reference
+    compiled = compile_loop(loop, machine, Strategy.SELECTIVE)
+    unit = compiled.units[0]
+    factor = unit.transform.factor
+    trip = 90  # divisible by factor=2: no cleanup
+    mem = memory_for_loop(loop, seed=77)
+    run = simulate_pipeline(unit.schedule, mem, trip // factor)
+    ref2 = memory_for_loop(loop, seed=77)
+    run_loop(loop, ref2, 0, trip)
+    assert mem.snapshot_user_arrays() == ref2.snapshot_user_arrays()
+    model = (trip // factor + unit.schedule.stage_count - 1) * unit.schedule.ii
+    assert trip // factor * unit.schedule.ii <= run.cycles <= model
+
+
+def test_codegen_and_mve_consistent(loop, machine):
+    compiled = compile_loop(loop, machine, Strategy.SELECTIVE)
+    unit = compiled.units[0]
+    graph = analyze_loop(unit.transform.loop, machine.vector_length).graph
+    code = generate_kernel_only_code(unit.schedule, graph)
+    mve = modulo_variable_expansion(unit.schedule, graph)
+    # rotation depth never exceeds the MVE unroll requirement
+    assert all(off <= mve.unroll for off in code.max_offset.values())
+    assert code.listing()
+
+
+def test_compiled_loop_repr_fields(loop, machine):
+    compiled = compile_loop(loop, machine, Strategy.SELECTIVE)
+    assert isinstance(compiled, CompiledLoop)
+    assert compiled.source is loop
+    assert compiled.strategy is Strategy.SELECTIVE
+    assert compiled.invocation_cycles(0) > 0  # setup cost

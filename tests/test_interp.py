@@ -1,0 +1,198 @@
+"""Tests for the functional interpreter and memory image."""
+
+import math
+
+import pytest
+
+from repro.interp.interpreter import InterpreterError, run_loop
+from repro.interp.memory import MemoryImage, memory_for_loop
+from repro.ir.builder import LoopBuilder
+from repro.ir.types import ScalarType
+from repro.ir.values import const_f64, const_i64
+
+F64 = ScalarType.F64
+I64 = ScalarType.I64
+
+
+class TestMemoryImage:
+    def test_declare_and_access(self, dot_loop):
+        mem = memory_for_loop(dot_loop)
+        assert len(mem.arrays["x"]) == 1024
+        mem.store("x", 3, 1.5)
+        assert mem.load("x", 3) == 1.5
+
+    def test_bounds_checked(self, dot_loop):
+        mem = memory_for_loop(dot_loop)
+        with pytest.raises(IndexError):
+            mem.load("x", 1024)
+        with pytest.raises(IndexError):
+            mem.store("x", -1, 0.0)
+
+    def test_randomize_deterministic(self, dot_loop):
+        a = memory_for_loop(dot_loop, seed=7)
+        b = memory_for_loop(dot_loop, seed=7)
+        assert a.arrays == b.arrays
+        c = memory_for_loop(dot_loop, seed=8)
+        assert a.arrays != c.arrays
+
+    def test_integer_arrays_randomize_to_ints(self):
+        b = LoopBuilder("l")
+        b.array("n", dtype=I64, dim_sizes=(64,))
+        t = b.load("n", b.idx())
+        b.array("m", dtype=I64, dim_sizes=(64,))
+        b.store("m", b.idx(), t)
+        mem = memory_for_loop(b.build(), seed=1)
+        assert all(isinstance(v, int) for v in mem.arrays["n"])
+
+    def test_snapshot_excludes_compiler_buffers(self):
+        mem = MemoryImage()
+        mem.arrays["user"] = [1.0]
+        mem.arrays["xfer.t"] = [2.0]
+        mem.arrays["exp.t"] = [3.0]
+        assert set(mem.snapshot_user_arrays()) == {"user"}
+
+    def test_copy_independent(self, dot_loop):
+        a = memory_for_loop(dot_loop, seed=1)
+        b = a.copy()
+        b.store("x", 0, 99.0)
+        assert a.load("x", 0) != 99.0
+
+
+class TestScalarExecution:
+    def test_dot_product_value(self, dot_loop):
+        mem = memory_for_loop(dot_loop)
+        mem.arrays["x"] = [float(i) for i in range(1024)]
+        mem.arrays["y"] = [2.0] * 1024
+        result = run_loop(dot_loop, mem, 0, 10)
+        assert result.carried["s"] == 2.0 * sum(range(10))
+
+    def test_start_offset(self, dot_loop):
+        mem = memory_for_loop(dot_loop)
+        mem.arrays["x"] = [1.0] * 1024
+        mem.arrays["y"] = [1.0] * 1024
+        result = run_loop(dot_loop, mem, 5, 10)
+        assert result.carried["s"] == 10.0
+
+    def test_carried_init_override(self, dot_loop):
+        mem = memory_for_loop(dot_loop)
+        mem.arrays["x"] = [1.0] * 1024
+        mem.arrays["y"] = [1.0] * 1024
+        result = run_loop(dot_loop, mem, 0, 3, carried_init={"s": 100.0})
+        assert result.carried["s"] == 103.0
+
+    def test_all_arith_kinds(self):
+        b = LoopBuilder("l")
+        b.array("x", dim_sizes=(64,))
+        b.array("o", dim_sizes=(64, 8))
+        v = b.load("x", b.idx())
+        results = {
+            "add": b.add(v, const_f64(1.0)),
+            "sub": b.sub(v, const_f64(1.0)),
+            "mul": b.mul(v, const_f64(3.0)),
+            "div": b.div(v, const_f64(2.0)),
+            "min": b.minimum(v, const_f64(0.5)),
+            "max": b.maximum(v, const_f64(0.5)),
+            "neg": b.neg(v),
+            "abs": b.absolute(v),
+            "sqrt": b.sqrt(b.absolute(v)),
+        }
+        for col, r in enumerate(results.values()):
+            b.store("o", b.idx2(b.aff(1, 0), b.aff(0, col)), r)
+        loop = b.build()
+        mem = memory_for_loop(loop)
+        mem.arrays["x"][0] = -2.0
+        run_loop(loop, mem, 0, 1)
+        row = mem.arrays["o"][:8]
+        assert row[0] == -1.0 and row[1] == -3.0 and row[2] == -6.0
+        assert row[3] == -1.0 and row[4] == -2.0 and row[5] == 0.5
+        assert row[6] == 2.0 and row[7] == 2.0
+        # sqrt(|-2|) stored in column 8 of row 0... columns 0..7 checked above
+
+    def test_integer_division_truncates_toward_zero(self):
+        b = LoopBuilder("l")
+        b.array("n", dtype=I64, dim_sizes=(8,))
+        b.array("m", dtype=I64, dim_sizes=(8,))
+        t = b.load("n", b.idx())
+        q = b.div(t, const_i64(2))
+        b.store("m", b.idx(), q)
+        loop = b.build()
+        mem = memory_for_loop(loop)
+        mem.arrays["n"] = [-3, 3, -7, 7, 0, 1, -1, 5]
+        run_loop(loop, mem, 0, 8)
+        assert mem.arrays["m"] == [-1, 1, -3, 3, 0, 0, 0, 2]
+
+    def test_division_by_zero_raises(self):
+        b = LoopBuilder("l")
+        b.array("x", dim_sizes=(8,))
+        b.array("z", dim_sizes=(8,))
+        t = b.load("x", b.idx())
+        q = b.div(t, const_f64(0.0))
+        b.store("z", b.idx(), q)
+        loop = b.build()
+        with pytest.raises(InterpreterError):
+            run_loop(loop, memory_for_loop(loop), 0, 1)
+
+    def test_sqrt_of_negative_raises(self):
+        b = LoopBuilder("l")
+        b.array("x", dim_sizes=(8,))
+        b.array("z", dim_sizes=(8,))
+        t = b.load("x", b.idx())
+        b.store("z", b.idx(), b.sqrt(t))
+        loop = b.build()
+        mem = memory_for_loop(loop)
+        mem.arrays["x"][0] = -1.0
+        with pytest.raises(InterpreterError):
+            run_loop(loop, mem, 0, 1)
+
+    def test_preheader_executes_once(self):
+        from repro.ir.loop import Loop
+        from repro.ir.operations import Operation, OpKind
+        from repro.ir.values import VirtualRegister
+
+        b = LoopBuilder("l")
+        b.array("z", dim_sizes=(64,))
+        pre = Operation(
+            OpKind.ADD, F64,
+            dest=VirtualRegister("c", F64),
+            srcs=(const_f64(1.0), const_f64(2.0)),
+        )
+        body = Operation(
+            OpKind.STORE, F64,
+            srcs=(VirtualRegister("c", F64),),
+            array="z",
+            subscript=b.idx(),
+        )
+        from repro.ir.loop import ArrayInfo
+
+        loop = Loop(
+            "l",
+            (body,),
+            arrays={"z": ArrayInfo("z", F64, (64,))},
+            preheader=(pre,),
+        )
+        mem = MemoryImage()
+        run_loop(loop, mem, 0, 4)
+        assert mem.arrays["z"][:4] == [3.0] * 4
+
+
+class TestVectorExecution:
+    def test_vector_ops_lanewise(self, stream_loop, paper):
+        from repro.dependence.analysis import analyze_loop
+        from repro.vectorize.full import full_assignment
+        from repro.vectorize.transform import transform_loop
+
+        dep = analyze_loop(stream_loop, 2)
+        tr = transform_loop(dep, paper, full_assignment(dep), 2)
+        mem = memory_for_loop(tr.loop)
+        mem.arrays["x"] = [float(i) for i in range(1024)]
+        mem.arrays["y"] = [10.0] * 1024
+        run_loop(tr.loop, mem, 0, 4)
+        assert mem.arrays["z"][:8] == [10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0]
+
+    def test_undefined_register_read_raises(self, dot_loop):
+        broken = dot_loop.body[2]  # mul reading loads — run it alone
+        from repro.ir.loop import Loop
+
+        loop = Loop("broken", (broken,), arrays=dict(dot_loop.arrays))
+        with pytest.raises(InterpreterError):
+            run_loop(loop, memory_for_loop(loop), 0, 1)

@@ -1,0 +1,185 @@
+"""Tests for the LoopBuilder and verifier."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import CarriedScalar, Loop
+from repro.ir.operations import Operation, OpKind
+from repro.ir.subscripts import Subscript
+from repro.ir.types import ScalarType
+from repro.ir.values import Constant, VirtualRegister, const_f64
+from repro.ir.verifier import VerificationError, verify_loop
+
+F64 = ScalarType.F64
+
+
+class TestBuilder:
+    def test_simple_loop(self, dot_loop):
+        assert len(dot_loop.body) == 4
+        assert dot_loop.increment == 1
+        assert len(dot_loop.carried) == 1
+
+    def test_duplicate_array_rejected(self):
+        b = LoopBuilder("l")
+        b.array("x")
+        with pytest.raises(ValueError):
+            b.array("x")
+
+    def test_undeclared_array_rejected(self):
+        b = LoopBuilder("l")
+        with pytest.raises(ValueError):
+            b.load("nope", b.idx())
+
+    def test_subscript_rank_checked(self):
+        b = LoopBuilder("l")
+        b.array("x", dim_sizes=(8, 8))
+        with pytest.raises(ValueError):
+            b.load("x", b.idx())
+
+    def test_double_assignment_rejected(self):
+        b = LoopBuilder("l")
+        b.array("x")
+        b.load("x", b.idx(), name="t")
+        with pytest.raises(ValueError):
+            b.load("x", b.idx(), name="t")
+
+    def test_type_mismatch_rejected(self):
+        b = LoopBuilder("l")
+        b.array("x", dtype=ScalarType.I64)
+        xi = b.load("x", b.idx())
+        with pytest.raises(TypeError):
+            b.add(xi, const_f64(1.0))
+
+    def test_store_type_checked(self):
+        b = LoopBuilder("l")
+        b.array("x", dtype=ScalarType.I64)
+        with pytest.raises(TypeError):
+            b.store("x", b.idx(), const_f64(1.0))
+
+    def test_carry_unknown_name(self):
+        b = LoopBuilder("l")
+        with pytest.raises(ValueError):
+            b.carry("s", const_f64(0.0))
+
+    def test_carry_type_checked(self):
+        b = LoopBuilder("l")
+        b.carried("s", 0.0, ScalarType.F64)
+        with pytest.raises(TypeError):
+            b.carry("s", Constant(1, ScalarType.I64))
+
+    def test_carried_entry_not_assignable(self):
+        b = LoopBuilder("l")
+        b.array("x")
+        b.carried("s", 0.0)
+        with pytest.raises(ValueError):
+            b.load("x", b.idx(), name="s")
+
+    def test_fresh_names_unique(self):
+        b = LoopBuilder("l")
+        b.array("x")
+        regs = [b.load("x", b.idx()) for _ in range(5)]
+        assert len({r.name for r in regs}) == 5
+
+    def test_live_out_deduplicated(self):
+        b = LoopBuilder("l")
+        b.array("x")
+        t = b.load("x", b.idx())
+        b.live_out(t)
+        b.live_out(t)
+        loop = b.build()
+        assert loop.live_out == (t,)
+
+    def test_all_arith_helpers(self):
+        b = LoopBuilder("l")
+        b.array("x")
+        v = b.load("x", b.idx())
+        results = [
+            b.add(v, v), b.sub(v, v), b.mul(v, v), b.div(v, v),
+            b.minimum(v, v), b.maximum(v, v), b.neg(v), b.absolute(v),
+            b.sqrt(b.absolute(v)), b.copy(v), b.cvt(v, ScalarType.I64),
+        ]
+        loop = b.build()
+        assert all(r in loop.defined_registers() for r in results)
+
+
+class TestLoopQueries:
+    def test_definition_of(self, dot_loop):
+        t = VirtualRegister("t", F64)
+        op = dot_loop.definition_of(t)
+        assert op is not None and op.kind is OpKind.MUL
+
+    def test_definition_of_missing(self, dot_loop):
+        assert dot_loop.definition_of(VirtualRegister("zzz", F64)) is None
+
+    def test_op_by_uid(self, dot_loop):
+        op = dot_loop.body[0]
+        assert dot_loop.op_by_uid(op.uid) is op
+
+    def test_op_by_uid_missing(self, dot_loop):
+        with pytest.raises(KeyError):
+            dot_loop.op_by_uid(-1)
+
+    def test_memory_ops(self, dot_loop):
+        assert len(dot_loop.memory_ops) == 2
+
+    def test_carried_for_entry(self, dot_loop):
+        entry = VirtualRegister("s", F64)
+        c = dot_loop.carried_for_entry(entry)
+        assert c is not None and c.init == 0.0
+
+
+class TestVerifier:
+    def test_undefined_register_read(self):
+        op = Operation(
+            OpKind.ADD,
+            F64,
+            dest=VirtualRegister("a", F64),
+            srcs=(VirtualRegister("ghost", F64), const_f64(1.0)),
+        )
+        loop = Loop("bad", (op,))
+        with pytest.raises(VerificationError):
+            verify_loop(loop)
+
+    def test_undeclared_array(self):
+        op = Operation(
+            OpKind.LOAD,
+            F64,
+            dest=VirtualRegister("a", F64),
+            array="ghost",
+            subscript=Subscript.linear(),
+        )
+        loop = Loop("bad", (op,))
+        with pytest.raises(VerificationError):
+            verify_loop(loop)
+
+    def test_carried_exit_must_exist(self):
+        entry = VirtualRegister("s", F64)
+        exit_reg = VirtualRegister("ghost", F64)
+        loop = Loop("bad", (), carried=(CarriedScalar(entry, exit_reg, 0.0),))
+        with pytest.raises(VerificationError):
+            verify_loop(loop)
+
+    def test_live_out_must_exist(self):
+        loop = Loop("bad", (), live_out=(VirtualRegister("ghost", F64),))
+        with pytest.raises(VerificationError):
+            verify_loop(loop)
+
+    def test_increment_positive(self, dot_loop):
+        from dataclasses import replace
+
+        with pytest.raises(VerificationError):
+            verify_loop(replace(dot_loop, increment=0))
+
+    def test_good_loop_passes(self, dot_loop, saxpy_loop, stream_loop):
+        verify_loop(dot_loop)
+        verify_loop(saxpy_loop)
+        verify_loop(stream_loop)
+
+
+class TestPrinter:
+    def test_format_contains_structure(self, dot_loop):
+        text = str(dot_loop)
+        assert "loop dot" in text
+        assert "carried %s" in text
+        assert "live-out" in text
+        assert "load.f64 x[i]" in text

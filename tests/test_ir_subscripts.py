@@ -1,0 +1,103 @@
+"""Tests for affine subscripts, including hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.subscripts import AffineExpr, Subscript
+
+
+class TestAffineExpr:
+    def test_normalizes_zero_symbol_coefficients(self):
+        e = AffineExpr(1, 0, (("j", 0), ("k", 2)))
+        assert e.symbols == (("k", 2),)
+
+    def test_symbols_sorted(self):
+        e = AffineExpr.of(1, 0, z=1, a=2)
+        assert e.symbols == (("a", 2), ("z", 1))
+
+    def test_is_constant(self):
+        assert AffineExpr.of(0, 5).is_constant
+        assert not AffineExpr.of(1, 5).is_constant
+        assert not AffineExpr.of(0, 5, j=1).is_constant
+
+    def test_is_loop_invariant(self):
+        assert AffineExpr.of(0, 5, j=1).is_loop_invariant
+        assert not AffineExpr.of(2, 5).is_loop_invariant
+
+    def test_shifted_substitutes_index(self):
+        e = AffineExpr.of(3, 1)
+        assert e.shifted(2) == AffineExpr.of(3, 7)
+
+    def test_plus_displaces_by_elements(self):
+        e = AffineExpr.of(3, 1)
+        assert e.plus(2) == AffineExpr.of(3, 3)
+
+    def test_evaluate_with_symbols(self):
+        e = AffineExpr.of(2, 1, j=3)
+        assert e.evaluate(4, {"j": 10}) == 2 * 4 + 1 + 30
+
+    def test_evaluate_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr.of(1, 0, j=1).evaluate(0, {})
+
+    def test_str_forms(self):
+        assert str(AffineExpr.of(1, 0)) == "i"
+        assert str(AffineExpr.of(-1, 2)) == "-i + 2"
+        assert str(AffineExpr.of(0, 0)) == "0"
+        assert "j" in str(AffineExpr.of(1, 0, j=1))
+
+    @given(st.integers(-5, 5), st.integers(-10, 10), st.integers(-4, 4), st.integers(0, 50))
+    def test_shift_evaluate_commutes(self, coeff, offset, delta, i):
+        e = AffineExpr.of(coeff, offset)
+        assert e.shifted(delta).evaluate(i) == e.evaluate(i + delta)
+
+    @given(st.integers(-5, 5), st.integers(-10, 10), st.integers(-4, 4), st.integers(0, 50))
+    def test_plus_adds_elements(self, coeff, offset, delta, i):
+        e = AffineExpr.of(coeff, offset)
+        assert e.plus(delta).evaluate(i) == e.evaluate(i) + delta
+
+
+class TestSubscript:
+    def test_linear_factory(self):
+        s = Subscript.linear(2, 3)
+        assert s.rank == 1
+        assert s.innermost == AffineExpr.of(2, 3)
+
+    def test_unit_stride(self):
+        assert Subscript.linear(1, 7).is_unit_stride
+        assert not Subscript.linear(2, 0).is_unit_stride
+
+    def test_unit_stride_multidim_requires_invariant_outer(self):
+        good = Subscript.of(AffineExpr.of(0, 0, j=1), AffineExpr.of(1, 0))
+        bad = Subscript.of(AffineExpr.of(1, 0), AffineExpr.of(1, 0))
+        assert good.is_unit_stride
+        assert not bad.is_unit_stride
+
+    def test_loop_invariant(self):
+        assert Subscript.linear(0, 3).is_loop_invariant
+        assert not Subscript.linear(1, 3).is_loop_invariant
+
+    def test_shifted_all_dims(self):
+        s = Subscript.of(AffineExpr.of(2, 0), AffineExpr.of(1, 1))
+        shifted = s.shifted(3)
+        assert shifted.dims[0] == AffineExpr.of(2, 6)
+        assert shifted.dims[1] == AffineExpr.of(1, 4)
+
+    def test_plus_innermost_only_touches_last_dim(self):
+        s = Subscript.of(AffineExpr.of(0, 2), AffineExpr.of(1, 0))
+        out = s.plus_innermost(5)
+        assert out.dims[0] == AffineExpr.of(0, 2)
+        assert out.dims[1] == AffineExpr.of(1, 5)
+
+    def test_evaluate_row_major(self):
+        s = Subscript.of(AffineExpr.of(0, 2), AffineExpr.of(1, 1))
+        # flat = 2 * 10 + (i + 1)
+        assert s.evaluate(4, (8, 10)) == 25
+
+    def test_evaluate_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Subscript.linear(1, 0).evaluate(0, (4, 4))
+
+    def test_str(self):
+        assert str(Subscript.linear(1, 2)) == "[i + 2]"

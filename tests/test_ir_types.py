@@ -1,0 +1,64 @@
+"""Tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.types import ScalarType, VectorType, element_type, is_vector_type
+
+
+class TestScalarType:
+    def test_i64_is_integer(self):
+        assert ScalarType.I64.is_integer
+        assert not ScalarType.I64.is_float
+
+    def test_f64_is_float(self):
+        assert ScalarType.F64.is_float
+        assert not ScalarType.F64.is_integer
+
+    def test_pred_is_neither(self):
+        assert not ScalarType.PRED.is_integer
+        assert not ScalarType.PRED.is_float
+
+    def test_bit_widths(self):
+        assert ScalarType.I64.bits == 64
+        assert ScalarType.F64.bits == 64
+        assert ScalarType.PRED.bits == 1
+
+    def test_str(self):
+        assert str(ScalarType.F64) == "f64"
+
+
+class TestVectorType:
+    def test_construction(self):
+        vt = VectorType(ScalarType.F64, 2)
+        assert vt.element is ScalarType.F64
+        assert vt.length == 2
+
+    def test_bits(self):
+        assert VectorType(ScalarType.F64, 2).bits == 128
+        assert VectorType(ScalarType.I64, 4).bits == 256
+
+    def test_length_one_rejected(self):
+        with pytest.raises(ValueError):
+            VectorType(ScalarType.F64, 1)
+
+    def test_equality_and_hash(self):
+        a = VectorType(ScalarType.F64, 2)
+        b = VectorType(ScalarType.F64, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != VectorType(ScalarType.I64, 2)
+
+    def test_str(self):
+        assert str(VectorType(ScalarType.I64, 2)) == "<2 x i64>"
+
+
+class TestHelpers:
+    def test_is_vector_type(self):
+        assert is_vector_type(VectorType(ScalarType.F64, 2))
+        assert not is_vector_type(ScalarType.F64)
+
+    def test_element_type_scalar_identity(self):
+        assert element_type(ScalarType.I64) is ScalarType.I64
+
+    def test_element_type_of_vector(self):
+        assert element_type(VectorType(ScalarType.F64, 2)) is ScalarType.F64

@@ -1,0 +1,71 @@
+"""Tests for the Livermore kernel suite."""
+
+import pytest
+
+from repro.compiler import ALL_STRATEGIES, Strategy, compile_loop
+from repro.dependence import analyze_loop
+from repro.interp import memory_for_loop, run_loop
+from repro.ir.verifier import verify_loop
+from repro.machine import paper_machine
+from repro.workloads.livermore import LIVERMORE_KERNELS
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+@pytest.mark.parametrize("name", sorted(LIVERMORE_KERNELS))
+def test_kernels_verify_and_run(name):
+    loop = LIVERMORE_KERNELS[name]()
+    verify_loop(loop)
+    mem = memory_for_loop(loop, seed=1)
+    run_loop(loop, mem, 0, 32)
+
+
+@pytest.mark.parametrize("name", sorted(LIVERMORE_KERNELS))
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.value)
+def test_all_strategies_equivalent(name, strategy, machine):
+    loop = LIVERMORE_KERNELS[name]()
+    trip = 47
+    ref = memory_for_loop(loop, seed=3)
+    seq = run_loop(loop, ref, 0, trip)
+    compiled = compile_loop(loop, machine, strategy)
+    mem = memory_for_loop(loop, seed=3)
+    result = compiled.execute(mem, trip)
+    assert mem.snapshot_user_arrays() == ref.snapshot_user_arrays(), name
+    for key, value in seq.carried.items():
+        assert result.carried[key] == pytest.approx(value, abs=1e-12)
+
+
+class TestVectorizationCharacter:
+    def test_k1_fully_parallel(self, machine):
+        dep = analyze_loop(LIVERMORE_KERNELS["k1_hydro"](), 2)
+        assert all(dep.is_vectorizable(op) for op in dep.loop.body)
+
+    def test_k5_recurrence_serial(self, machine):
+        dep = analyze_loop(LIVERMORE_KERNELS["k5_tridiag"](), 2)
+        cycle_ops = [op for op in dep.loop.body if dep.in_cycle(op.uid)]
+        assert cycle_ops
+        assert all(not dep.is_vectorizable(op) for op in cycle_ops)
+
+    def test_k11_scan_serial(self, machine):
+        loop = LIVERMORE_KERNELS["k11_first_sum"]()
+        base = compile_loop(loop, machine, Strategy.BASELINE)
+        sel = compile_loop(loop, machine, Strategy.SELECTIVE)
+        # nothing to gain: recurrence bound dominates
+        assert sel.ii_per_iteration() == base.ii_per_iteration()
+
+    def test_k7_selective_wins(self, machine):
+        loop = LIVERMORE_KERNELS["k7_equation_of_state"]()
+        base = compile_loop(loop, machine, Strategy.BASELINE)
+        sel = compile_loop(loop, machine, Strategy.SELECTIVE)
+        assert sel.ii_per_iteration() < base.ii_per_iteration()
+
+    def test_k3_reduction_benefits_from_reassociation(self, machine):
+        loop = LIVERMORE_KERNELS["k3_inner_product"]()
+        strict = compile_loop(loop, machine, Strategy.SELECTIVE)
+        relaxed = compile_loop(
+            loop, machine, Strategy.SELECTIVE, allow_reassociation=True
+        )
+        assert relaxed.ii_per_iteration() < strict.ii_per_iteration()

@@ -1,0 +1,214 @@
+"""Tests for the dataflow optimization passes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import parse_loop
+from repro.interp.interpreter import run_loop
+from repro.interp.memory import memory_for_loop
+from repro.ir.operations import OpKind
+from repro.ir.verifier import verify_loop
+from repro.opt.pass_manager import optimize_loop
+from repro.opt.passes import (
+    algebraic_simplification,
+    common_subexpression_elimination,
+    constant_propagation,
+    copy_propagation,
+    dead_code_elimination,
+    loop_invariant_code_motion,
+)
+from repro.workloads.generator import GENERATORS, generate
+
+
+def arith_count(loop):
+    return sum(1 for op in loop.body if op.kind.is_arith)
+
+
+class TestConstantPropagation:
+    def test_folds_chains(self):
+        loop = parse_loop(
+            "array z(64)\ndo i\n c = 2.0 * 3.0\n d = c + 1.0\n z(i) = d\nend"
+        )
+        out = constant_propagation(loop)
+        assert arith_count(out) == 0
+        assert len(out.body) == 1  # just the store of a constant
+
+    def test_division_by_zero_not_folded(self):
+        loop = parse_loop(
+            "array z(64)\ndo i\n c = 1.0 / 0.0\n z(i) = c\nend"
+        )
+        out = constant_propagation(loop)
+        assert any(op.kind is OpKind.DIV for op in out.body)
+
+
+class TestCopyPropagation:
+    def test_copies_removed(self, dot_loop):
+        from repro.ir.builder import LoopBuilder
+
+        b = LoopBuilder("c")
+        b.array("x", dim_sizes=(64,))
+        b.array("z", dim_sizes=(64,))
+        t = b.load("x", b.idx(), name="t")
+        c1 = b.copy(t, name="c1")
+        c2 = b.copy(c1, name="c2")
+        b.store("z", b.idx(), c2)
+        out = copy_propagation(b.build())
+        assert not any(op.kind is OpKind.COPY for op in out.body)
+        store = out.body[-1]
+        assert store.stored_value.name == "t"
+
+
+class TestAlgebraicSimplification:
+    @pytest.mark.parametrize(
+        "expr,expected_arith",
+        [
+            ("x(i) * 1.0", 0),
+            ("x(i) + 0.0", 0),
+            ("x(i) - 0.0", 0),
+            ("x(i) / 1.0", 0),
+            ("1.0 * x(i)", 0),
+            ("0.0 + x(i)", 0),
+        ],
+    )
+    def test_identities(self, expr, expected_arith):
+        loop = parse_loop(f"array x(64), z(64)\ndo i\n z(i) = {expr}\nend")
+        out = algebraic_simplification(loop)
+        assert arith_count(out) == expected_arith
+
+    def test_mul_by_two_becomes_add(self):
+        loop = parse_loop("array x(64), z(64)\ndo i\n z(i) = x(i) * 2.0\nend")
+        out = algebraic_simplification(loop)
+        kinds = [op.kind for op in out.body if op.kind.is_arith]
+        assert kinds == [OpKind.ADD]
+
+
+class TestCSE:
+    def test_identical_loads_merged(self):
+        loop = parse_loop(
+            "array x(64), z(64)\ndo i\n z(i) = x(i) + x(i)\nend"
+        )
+        out = common_subexpression_elimination(loop)
+        assert sum(1 for op in out.body if op.is_load) == 1
+
+    def test_commutative_normalization(self):
+        loop = parse_loop(
+            "array x(64), y(64), z(64), w(64)\ndo i\n"
+            " z(i) = x(i) + y(i)\n w(i) = y(i) + x(i)\nend"
+        )
+        out = common_subexpression_elimination(loop)
+        assert sum(1 for op in out.body if op.kind is OpKind.ADD) == 1
+
+    def test_store_kills_loads(self):
+        loop = parse_loop(
+            "array x(64), z(64), w(64)\ndo i\n"
+            " a = x(i)\n x(i) = a * 2.0\n b = x(i)\n z(i) = a\n w(i) = b\nend"
+        )
+        out = common_subexpression_elimination(loop)
+        # The second x(i) load must survive: a store intervened.
+        assert sum(1 for op in out.body if op.is_load) == 2
+
+    def test_sub_not_commuted(self):
+        loop = parse_loop(
+            "array x(64), y(64), z(64), w(64)\ndo i\n"
+            " z(i) = x(i) - y(i)\n w(i) = y(i) - x(i)\nend"
+        )
+        out = common_subexpression_elimination(loop)
+        assert sum(1 for op in out.body if op.kind is OpKind.SUB) == 2
+
+
+class TestDCE:
+    def test_dead_chain_removed(self):
+        loop = parse_loop(
+            "array x(64), z(64)\ndo i\n"
+            " dead1 = x(i) * 3.0\n dead2 = dead1 + 1.0\n z(i) = x(i)\nend"
+        )
+        out = dead_code_elimination(loop)
+        assert arith_count(out) == 0
+
+    def test_reduction_kept_via_carried_exit(self, dot_loop):
+        out = dead_code_elimination(dot_loop)
+        assert len(out.body) == len(dot_loop.body)
+
+    def test_live_out_kept(self):
+        loop = parse_loop(
+            "array x(64)\ndo i\n v = x(i) * 2.0\nend\nresult v"
+        )
+        out = dead_code_elimination(loop)
+        assert arith_count(out) == 1
+
+
+class TestLICM:
+    def test_invariant_expression_hoisted(self):
+        loop = parse_loop(
+            "array x(64), z(64)\nparam a = 2.0\ndo i\n"
+            " c = a * a\n z(i) = x(i) + c\nend"
+        )
+        out = loop_invariant_code_motion(loop)
+        assert len(out.preheader) == 1
+        assert arith_count(out) == 1
+
+    def test_transitive_hoisting(self):
+        loop = parse_loop(
+            "array x(64), z(64)\nparam a = 2.0\ndo i\n"
+            " c = a * a\n d = c + a\n z(i) = x(i) + d\nend"
+        )
+        out = loop_invariant_code_motion(loop)
+        assert len(out.preheader) == 2
+
+    def test_invariant_load_hoisted_when_array_readonly(self):
+        loop = parse_loop(
+            "array t(8), x(64), z(64)\ndo i\n z(i) = x(i) + t(3)\nend"
+        )
+        out = loop_invariant_code_motion(loop)
+        assert any(op.is_load for op in out.preheader)
+
+    def test_invariant_load_not_hoisted_when_array_written(self):
+        loop = parse_loop(
+            "array t(8), x(64)\ndo i\n v = t(3)\n t(5) = x(i) + v\nend"
+        )
+        out = loop_invariant_code_motion(loop)
+        assert not out.preheader
+
+    def test_varying_op_not_hoisted(self, dot_loop):
+        out = loop_invariant_code_motion(dot_loop)
+        assert not out.preheader
+
+
+class TestPipeline:
+    def test_fixpoint_and_verification(self):
+        loop = parse_loop(
+            """
+            array x(128), z(128)
+            param a = 2.0
+            do i
+                c = 3.0 * 2.0
+                t = x(i) * y0
+                u = x(i) * y0
+                dead = t * 9.0
+                v = t + u
+                w = v * 1.0
+                q = a * a
+                z(i) = w + c + q
+            end
+            """.replace("y0", "x(i)")
+        )
+        out = optimize_loop(loop)
+        verify_loop(out)
+        assert len(out.body) < len(loop.body)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        archetype=st.sampled_from(sorted(GENERATORS)),
+        seed=st.integers(0, 5000),
+    )
+    def test_pipeline_preserves_semantics(self, archetype, seed):
+        loop = generate(archetype, seed)
+        out = optimize_loop(loop)
+        verify_loop(out)
+        m0 = memory_for_loop(loop, seed=5)
+        r0 = run_loop(loop, m0, 0, 30)
+        m1 = memory_for_loop(out, seed=5)
+        r1 = run_loop(out, m1, 0, 30)
+        assert m0.snapshot_user_arrays() == m1.snapshot_user_arrays()
+        assert r0.carried == r1.carried

@@ -1,0 +1,191 @@
+"""Tests for reduction vectorization (Section 6 extension)."""
+
+import pytest
+
+from repro.compiler.driver import compile_loop
+from repro.compiler.strategies import Strategy
+from repro.dependence.analysis import analyze_loop
+from repro.interp.interpreter import run_loop
+from repro.interp.memory import memory_for_loop
+from repro.ir.builder import LoopBuilder
+from repro.ir.operations import OpKind
+from repro.ir.types import ScalarType, VectorType
+from repro.ir.values import const_f64, const_i64
+from repro.machine.configs import paper_machine
+from repro.vectorize.reduction import (
+    combine_lanes,
+    reassociable_reductions,
+    vectorize_reduction_loop,
+)
+from repro.workloads.kernels import dot_product, max_abs, sum_and_scale
+
+
+@pytest.fixture
+def machine():
+    return paper_machine()
+
+
+class TestRecognition:
+    def test_dot_product_recognized(self, dot_loop):
+        dep = analyze_loop(dot_loop, 2)
+        reductions = reassociable_reductions(dep)
+        assert len(reductions) == 1
+        r = next(iter(reductions.values()))
+        assert r.kind is OpKind.ADD
+        assert r.identity() == 0.0
+
+    def test_max_reduction_recognized(self):
+        dep = analyze_loop(max_abs(), 2)
+        reductions = reassociable_reductions(dep)
+        assert next(iter(reductions.values())).kind is OpKind.MAX
+
+    def test_sub_reduction_not_recognized(self):
+        b = LoopBuilder("subred")
+        b.array("x", dim_sizes=(512,))
+        s = b.carried("s", 0.0)
+        xi = b.load("x", b.idx(), name="xi")
+        s2 = b.sub(s, xi, name="s2")
+        b.carry("s", s2)
+        b.live_out(s2)
+        dep = analyze_loop(b.build(), 2)
+        assert not reassociable_reductions(dep)
+
+    def test_entry_with_second_reader_not_recognized(self):
+        b = LoopBuilder("peek")
+        b.array("x", dim_sizes=(512,))
+        b.array("z", dim_sizes=(512,))
+        s = b.carried("s", 0.0)
+        xi = b.load("x", b.idx(), name="xi")
+        s2 = b.add(s, xi, name="s2")
+        b.store("z", b.idx(), s)  # observes the running value
+        b.carry("s", s2)
+        dep = analyze_loop(b.build(), 2)
+        assert not reassociable_reductions(dep)
+
+    def test_exit_consumer_not_recognized(self):
+        b = LoopBuilder("observe")
+        b.array("x", dim_sizes=(512,))
+        b.array("z", dim_sizes=(512,))
+        s = b.carried("s", 0.0)
+        xi = b.load("x", b.idx(), name="xi")
+        s2 = b.add(s, xi, name="s2")
+        b.store("z", b.idx(), s2)  # observes every partial sum
+        b.carry("s", s2)
+        dep = analyze_loop(b.build(), 2)
+        assert not reassociable_reductions(dep)
+
+    def test_constant_carried_not_recognized(self, saxpy_loop):
+        dep = analyze_loop(saxpy_loop, 2)
+        assert not reassociable_reductions(dep)
+
+
+class TestTransform:
+    def test_accumulator_structure(self, dot_loop, machine):
+        dep = analyze_loop(dot_loop, 2)
+        tr = vectorize_reduction_loop(dep, machine)
+        assert tr is not None
+        acc_carried = [
+            c for c in tr.loop.carried if isinstance(c.entry.type, VectorType)
+            and c.entry.name.endswith(".acc")
+        ]
+        assert len(acc_carried) == 1
+        assert acc_carried[0].init == 0.0
+        assert tr.reduction_combines == {"s": (OpKind.ADD, "s.acc")}
+        # all real work is vector; no transfers needed
+        assert tr.n_transfers == 0
+
+    def test_recmii_halves(self, dot_loop, machine):
+        base = compile_loop(dot_loop, machine, Strategy.SELECTIVE)
+        red = compile_loop(
+            dot_loop, machine, Strategy.SELECTIVE, allow_reassociation=True
+        )
+        assert red.ii_per_iteration() < base.ii_per_iteration()
+        # reduction cycle: one vector add (latency 4) per 2 iterations
+        assert red.units[0].schedule.rec_mii == 4
+
+    def test_not_applicable_falls_back(self, machine):
+        """sum_and_scale stores a value derived from x alongside the
+        reduction; the reduction *is* recognizable, so the whole loop
+        vectorizes with the extension."""
+        loop = sum_and_scale()
+        red = compile_loop(loop, machine, Strategy.SELECTIVE, allow_reassociation=True)
+        assert red.units[0].transform.reduction_combines
+
+    def test_serial_loop_falls_back_to_partitioning(self, machine):
+        from repro.workloads.kernels import first_order_recurrence
+
+        loop = first_order_recurrence()
+        red = compile_loop(loop, machine, Strategy.SELECTIVE, allow_reassociation=True)
+        assert not red.units[0].transform.reduction_combines
+        assert red.partition is not None
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("trip", [0, 1, 2, 5, 50, 101])
+    def test_float_sum_matches_reassociated_reference(self, machine, trip):
+        loop = dot_product()
+        red = compile_loop(loop, machine, Strategy.SELECTIVE, allow_reassociation=True)
+        mem = memory_for_loop(loop, seed=5)
+        result = red.execute(mem, trip)
+        seq = run_loop(loop, memory_for_loop(loop, seed=5), 0, trip)
+        assert result.carried["s"] == pytest.approx(seq.carried["s"], rel=1e-12)
+
+    @pytest.mark.parametrize("trip", [0, 1, 7, 64, 99])
+    def test_max_reduction_exact(self, machine, trip):
+        loop = max_abs()
+        red = compile_loop(loop, machine, Strategy.SELECTIVE, allow_reassociation=True)
+        mem = memory_for_loop(loop, seed=8)
+        result = red.execute(mem, trip)
+        seq = run_loop(loop, memory_for_loop(loop, seed=8), 0, trip)
+        assert result.carried["m"] == seq.carried["m"]
+
+    def test_integer_sum_exact(self, machine):
+        b = LoopBuilder("isum")
+        b.array("x", dtype=ScalarType.I64, dim_sizes=(512,))
+        s = b.carried("s", 0, ScalarType.I64)
+        xi = b.load("x", b.idx(), name="xi")
+        s2 = b.add(s, xi, name="s2")
+        b.carry("s", s2)
+        b.live_out(s2)
+        loop = b.build()
+        red = compile_loop(loop, machine, Strategy.SELECTIVE, allow_reassociation=True)
+        mem = memory_for_loop(loop, seed=3)
+        result = red.execute(mem, 77)
+        assert result.carried["s"] == sum(mem.arrays["x"][:77])
+
+    def test_nonzero_initial_value_folded(self, machine):
+        loop = dot_product()
+        red = compile_loop(loop, machine, Strategy.SELECTIVE, allow_reassociation=True)
+        # execute() seeds carried state from the loop's declared init (0.0)
+        # — the combine must include it, so a second invocation continues
+        # accumulating from the first invocation's total.
+        mem = memory_for_loop(loop, seed=4)
+        first = red.execute(mem, 40)
+        total_after_40 = first.carried["s"]
+        seq = run_loop(loop, memory_for_loop(loop, seed=4), 0, 40)
+        assert total_after_40 == pytest.approx(seq.carried["s"], rel=1e-12)
+
+    def test_memory_side_effects_match(self, machine):
+        loop = sum_and_scale()
+        ref = memory_for_loop(loop, seed=6)
+        run_loop(loop, ref, 0, 83)
+        red = compile_loop(loop, machine, Strategy.SELECTIVE, allow_reassociation=True)
+        mem = memory_for_loop(loop, seed=6)
+        red.execute(mem, 83)
+        assert ref.snapshot_user_arrays() == mem.snapshot_user_arrays()
+
+
+class TestCombineLanes:
+    def test_add(self):
+        assert combine_lanes(OpKind.ADD, (1.0, 2.0), 10.0) == 13.0
+
+    def test_mul(self):
+        assert combine_lanes(OpKind.MUL, (2.0, 3.0), 2.0) == 12.0
+
+    def test_min_max(self):
+        assert combine_lanes(OpKind.MIN, (5.0, -2.0), 1.0) == -2.0
+        assert combine_lanes(OpKind.MAX, (5.0, -2.0), 7.0) == 7.0
+
+    def test_rejects_non_reduction(self):
+        with pytest.raises(ValueError):
+            combine_lanes(OpKind.SUB, (1.0,), 0.0)

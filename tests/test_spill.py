@@ -1,0 +1,140 @@
+"""Tests for spill-code insertion under register pressure."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.compiler.driver import compile_loop
+from repro.compiler.strategies import Strategy
+from repro.dependence.analysis import analyze_loop
+from repro.interp.interpreter import run_loop
+from repro.interp.memory import memory_for_loop
+from repro.ir.builder import LoopBuilder
+from repro.ir.verifier import verify_loop
+from repro.machine.configs import paper_machine
+from repro.machine.machine import RegisterFiles
+from repro.pipeline.scheduler import modulo_schedule
+from repro.regalloc.allocator import allocate_kernel
+from repro.regalloc.spill import (
+    SPILL_PREFIX,
+    insert_spills,
+    spill_candidates,
+    spill_for_pressure,
+)
+from repro.vectorize.communication import Side
+from repro.vectorize.transform import transform_loop
+
+
+def wide_loop(n_values=8):
+    """Many long-lived values: loads early, all consumed late."""
+    b = LoopBuilder("pressure")
+    b.array("x", dim_sizes=(4096,))
+    b.array("z", dim_sizes=(4096,))
+    vals = [b.load("x", b.idx(offset=k), name=f"v{k}") for k in range(n_values)]
+    acc = vals[0]
+    for v in vals[1:]:
+        acc = b.add(acc, v)
+    b.store("z", b.idx(), acc)
+    return b.build()
+
+
+def schedule_loop(loop, machine, factor=2):
+    dep = analyze_loop(loop, machine.vector_length)
+    assignment = {op.uid: Side.SCALAR for op in loop.body}
+    tr = transform_loop(dep, machine, assignment, factor)
+    dep2 = analyze_loop(tr.loop, machine.vector_length)
+    schedule = modulo_schedule(tr.loop, dep2.graph, machine)
+    return tr.loop, dep2.graph, schedule
+
+
+class TestCandidates:
+    def test_sorted_by_lifetime(self, paper):
+        loop, graph, schedule = schedule_loop(wide_loop(), paper)
+        candidates = spill_candidates(schedule, graph, "fp")
+        assert candidates
+        # all candidates belong to the fp file and are not live-outs
+        assert all(not r.name.startswith("ptr") for r in candidates)
+
+    def test_live_outs_protected(self, paper, dot_loop):
+        loop, graph, schedule = schedule_loop(dot_loop, paper)
+        candidates = spill_candidates(schedule, graph, "fp")
+        live_out_names = {r.name for r in loop.live_out}
+        assert all(c.name not in live_out_names for c in candidates)
+
+
+class TestInsertSpills:
+    def test_store_follows_def_reload_precedes_use(self, paper):
+        loop, graph, schedule = schedule_loop(wide_loop(4), paper)
+        victim = spill_candidates(schedule, graph, "fp")[0]
+        spilled = insert_spills(loop, [victim])
+        verify_loop(spilled)
+        body = list(spilled.body)
+        array = f"{SPILL_PREFIX}{victim.name}"
+        assert array in spilled.arrays
+        def_idx = next(
+            i for i, op in enumerate(body) if op.dest == victim
+        )
+        store_idx = next(
+            i
+            for i, op in enumerate(body)
+            if op.is_store and op.array == array
+        )
+        assert store_idx == def_idx + 1
+        # every original consumer now reads a reload register
+        for op in body:
+            if op.array == array:
+                continue
+            assert victim not in op.registers_read()
+
+    def test_no_victims_identity(self, paper, dot_loop):
+        assert insert_spills(dot_loop, []) is dot_loop
+
+    def test_semantics_preserved(self, paper):
+        loop = wide_loop(6)
+        t_loop, graph, schedule = schedule_loop(loop, paper)
+        victims = spill_candidates(schedule, graph, "fp")[:3]
+        spilled = insert_spills(t_loop, victims)
+        m0 = memory_for_loop(t_loop, seed=5)
+        run_loop(t_loop, m0, 0, 20)
+        m1 = memory_for_loop(spilled, seed=5)
+        run_loop(spilled, m1, 0, 20)
+        assert m0.snapshot_user_arrays() == m1.snapshot_user_arrays()
+
+
+class TestDriverIntegration:
+    def _cramped_machine(self, fp_regs):
+        return replace(
+            paper_machine(), register_files=RegisterFiles(scalar_fp=fp_regs)
+        )
+
+    def test_spilling_restores_allocability(self):
+        machine = self._cramped_machine(6)
+        compiled = compile_loop(wide_loop(10), machine, Strategy.BASELINE)
+        unit = compiled.units[0]
+        spill_arrays = [
+            a for a in unit.transform.loop.arrays if a.startswith(SPILL_PREFIX)
+        ]
+        # either the II retries solved it, or spills were inserted
+        assert unit.allocation.ok or spill_arrays
+
+    def test_spilled_compilation_still_correct(self):
+        machine = self._cramped_machine(5)
+        loop = wide_loop(10)
+        compiled = compile_loop(loop, machine, Strategy.BASELINE)
+        ref = memory_for_loop(loop, seed=2)
+        run_loop(loop, ref, 0, 31)
+        mem = memory_for_loop(loop, seed=2)
+        compiled.execute(mem, 31)
+        assert ref.snapshot_user_arrays() == mem.snapshot_user_arrays()
+
+    def test_spill_traffic_costs_cycles(self):
+        roomy = compile_loop(wide_loop(10), paper_machine(), Strategy.BASELINE)
+        cramped = compile_loop(
+            wide_loop(10), self._cramped_machine(4), Strategy.BASELINE
+        )
+        assert cramped.invocation_cycles(200) >= roomy.invocation_cycles(200)
+
+
+@pytest.fixture
+def paper():
+    return paper_machine()

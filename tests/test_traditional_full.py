@@ -1,0 +1,262 @@
+"""Tests for the traditional (Allen-Kennedy) and full vectorizers."""
+
+import pytest
+
+from repro.compiler.driver import compile_loop
+from repro.compiler.strategies import Strategy
+from repro.dependence.analysis import analyze_loop
+from repro.ir.builder import LoopBuilder
+from repro.ir.values import const_f64
+from repro.machine.configs import figure1_machine, paper_machine
+from repro.vectorize.communication import Side
+from repro.vectorize.full import full_assignment, refine_isolated
+from repro.vectorize.traditional import EXPANSION_PREFIX, distribute_loop
+from repro.workloads.generator import generate
+from repro.workloads.kernels import complex_multiply, sum_and_scale
+
+
+class TestFullAssignment:
+    def test_dot_product_keeps_reduction_scalar(self, dot_loop):
+        dep = analyze_loop(dot_loop, 2)
+        assignment = full_assignment(dep)
+        load_x, load_y, mul, add = dot_loop.body
+        assert assignment[load_x.uid] is Side.VECTOR
+        assert assignment[mul.uid] is Side.VECTOR
+        assert assignment[add.uid] is Side.SCALAR
+
+    def test_isolated_op_demoted(self):
+        """A vectorizable op whose only dataflow neighbors are
+        non-vectorizable gains nothing from vectorization and stays scalar."""
+        b = LoopBuilder("iso")
+        b.array("x", dim_sizes=(4096,))
+        b.array("z", dim_sizes=(4096,))
+        t = b.load("x", b.idx(), name="t")       # vectorizable
+        s = b.carried("s", 0.0)
+        s2 = b.add(s, t, name="s2")              # reduction: scalar
+        b.carry("s", s2)
+        b.live_out(s2)
+        loop = b.build()
+        dep = analyze_loop(loop, 2)
+        assignment = full_assignment(dep)
+        # the load's only consumer is the scalar add -> demoted
+        assert assignment[loop.body[0].uid] is Side.SCALAR
+
+    def test_refine_isolated_keeps_connected(self, stream_loop):
+        dep = analyze_loop(stream_loop, 2)
+        refined = refine_isolated(dep, set(dep.vectorizable))
+        assert refined == dep.vectorizable
+
+
+class TestDistribution:
+    def test_fully_vectorizable_loop_not_distributed(self, stream_loop, paper):
+        dep = analyze_loop(stream_loop, 2)
+        units = distribute_loop(dep, paper)
+        assert len(units) == 1
+        assert units[0].vector
+
+    def test_fully_serial_loop_not_distributed(self, paper):
+        b = LoopBuilder("serial")
+        b.array("y", dim_sizes=(4096,))
+        t = b.load("y", b.idx(offset=0), name="t")
+        u = b.mul(t, const_f64(0.5), name="u")
+        b.store("y", b.idx(offset=1), u)
+        dep = analyze_loop(b.build(), 2)
+        units = distribute_loop(dep, paper)
+        assert len(units) == 1
+        assert not units[0].vector
+
+    def test_dot_product_figure_1d(self, dot_loop, paper):
+        """Figure 1(d): vector loop {loads, mul, store T} then scalar loop
+        {load T, add}."""
+        dep = analyze_loop(dot_loop, 2)
+        units = distribute_loop(dep, paper)
+        assert [u.vector for u in units] == [True, False]
+        vector_body, scalar_body = units[0].loop.body, units[1].loop.body
+        # the vector loop ends with a store into the expansion array
+        assert vector_body[-1].is_store
+        assert vector_body[-1].array.startswith(EXPANSION_PREFIX)
+        # the scalar loop begins by loading it
+        assert scalar_body[0].is_load
+        assert scalar_body[0].array.startswith(EXPANSION_PREFIX)
+        # the reduction lives in the scalar loop
+        assert units[1].loop.carried
+
+    def test_expansion_value_loaded_once_per_partition(self, paper):
+        loop = sum_and_scale()
+        dep = analyze_loop(loop, 2)
+        units = distribute_loop(dep, paper)
+        for unit in units:
+            loads = [
+                op.array
+                for op in unit.loop.body
+                if op.is_load and op.array.startswith(EXPANSION_PREFIX)
+            ]
+            assert len(loads) == len(set(loads))
+
+    def test_interleaved_shatters(self, paper):
+        loop = generate("interleaved", seed=17)
+        dep = analyze_loop(loop, 2)
+        units = distribute_loop(dep, paper)
+        assert len(units) >= 5
+        assert any(u.vector for u in units)
+        assert any(not u.vector for u in units)
+
+    def test_strided_aggregation(self, paper):
+        """Strided memory is gathered into contiguous expansion arrays so
+        the vector loop can consume it — the paper's scatter/gather
+        substitute."""
+        loop = complex_multiply()
+        dep = analyze_loop(loop, 2)
+        units = distribute_loop(dep, paper)
+        scalar_units = [u for u in units if not u.vector]
+        vector_units = [u for u in units if u.vector]
+        assert scalar_units and vector_units
+        for vu in vector_units:
+            for op in vu.loop.body:
+                if op.kind.is_memory:
+                    assert op.subscript.is_unit_stride
+
+    def test_all_sub_loops_verify(self, paper):
+        from repro.ir.verifier import verify_loop
+
+        for seed in (3, 17, 99):
+            loop = generate("interleaved", seed=seed)
+            dep = analyze_loop(loop, 2)
+            for unit in distribute_loop(dep, paper):
+                verify_loop(unit.loop)
+
+
+class TestStrategyComparisons:
+    def test_traditional_slower_on_mixed_loops(self, dot_loop, paper):
+        base = compile_loop(dot_loop, paper, Strategy.BASELINE)
+        trad = compile_loop(dot_loop, paper, Strategy.TRADITIONAL)
+        assert trad.invocation_cycles(200) > base.invocation_cycles(200)
+
+    def test_figure1_traditional_ii(self, dot_loop, toy):
+        trad = compile_loop(dot_loop, toy, Strategy.TRADITIONAL)
+        assert trad.ii_per_iteration() == 3.0
+
+    def test_selective_never_loses_steady_state(self, paper):
+        """Per-iteration steady-state cost of selective <= baseline on
+        every kernel (fill/drain effects can differ, II cannot be worse
+        by more than scheduler noise)."""
+        from repro.workloads.kernels import ALL_KERNELS
+
+        for name, factory in sorted(ALL_KERNELS.items()):
+            loop = factory()
+            base = compile_loop(loop, paper, Strategy.BASELINE)
+            sel = compile_loop(loop, paper, Strategy.SELECTIVE)
+            assert sel.res_mii_per_iteration() <= base.res_mii_per_iteration() + 1e-9, name
+
+    def test_full_vector_op_counts(self, stream_loop, paper):
+        full = compile_loop(stream_loop, paper, Strategy.FULL)
+        assert full.n_vector_ops == 4  # 2 vloads + vadd + vstore
+        assert full.n_transfers == 0
+
+
+class TestCarriedExpansion:
+    def _loop(self):
+        from repro.ir.values import const_f64
+
+        b = LoopBuilder("carried_remote")
+        b.array("x", dim_sizes=(2048,))
+        b.array("y", dim_sizes=(2048,))
+        s = b.carried("s", 1.0)
+        xi = b.load("x", b.idx(), name="xi")
+        prod = b.mul(xi, s, name="prod")  # vector partition reads s
+        q = b.mul(prod, const_f64(0.5), name="q")
+        b.store("y", b.idx(), q)
+        s2 = b.add(s, xi, name="s2")
+        b.carry("s", s2)
+        b.live_out(s2)
+        return b.build()
+
+    def test_running_value_expanded_to_remote_partition(self, paper):
+        """A carried scalar read by a *different* partition is expanded:
+        the owner stores its per-iteration entry value; the remote reader
+        loads it."""
+        loop = self._loop()
+        dep = analyze_loop(loop, 2)
+        units = distribute_loop(dep, paper)
+        owner = next(u for u in units if u.loop.carried)
+        exp_store = [
+            op
+            for op in owner.loop.body
+            if op.is_store and op.array == f"{EXPANSION_PREFIX}s"
+        ]
+        assert exp_store and exp_store[0].stored_value.name == "s"
+        readers = [
+            u
+            for u in units
+            if u is not owner
+            and any(
+                op.is_load and op.array == f"{EXPANSION_PREFIX}s"
+                for op in u.loop.body
+            )
+        ]
+        assert readers and readers[0].vector
+
+    def test_semantics_through_driver(self, paper):
+        from repro.interp.interpreter import run_loop
+        from repro.interp.memory import memory_for_loop
+
+        loop = self._loop()
+        trip = 41
+        ref = memory_for_loop(loop, seed=2)
+        seq = run_loop(loop, ref, 0, trip)
+        compiled = compile_loop(loop, paper, Strategy.TRADITIONAL)
+        mem = memory_for_loop(loop, seed=2)
+        result = compiled.execute(mem, trip)
+        assert mem.snapshot_user_arrays() == ref.snapshot_user_arrays()
+        assert result.carried["s"] == pytest.approx(seq.carried["s"], abs=1e-12)
+
+    def test_no_fusion_variant_still_correct(self, paper):
+        from repro.compiler.driver import _compile_unit
+        from repro.dependence.analysis import analyze_loop as analyze
+        from repro.interp.interpreter import run_loop
+        from repro.interp.memory import memory_for_loop
+        from repro.vectorize.communication import Side
+        from repro.vectorize.transform import transform_loop
+
+        loop = self._loop()
+        dep = analyze(loop, 2)
+        units = distribute_loop(dep, paper, fuse=False)
+        assert len(units) >= 3
+        trip = 30
+        ref = memory_for_loop(loop, seed=4)
+        run_loop(loop, ref, 0, trip)
+        mem = memory_for_loop(loop, seed=4)
+        carried_state = {c.entry.name: c.init for c in loop.carried}
+        for unit in units:
+            sub_dep = analyze(unit.loop, 2)
+            assignment = {
+                op.uid: (
+                    Side.VECTOR
+                    if unit.vector and sub_dep.is_vectorizable(op)
+                    else Side.SCALAR
+                )
+                for op in unit.loop.body
+            }
+            factor = 2 if unit.vector else 1
+            tr = transform_loop(sub_dep, paper, assignment, factor)
+            init = {
+                name: value
+                for name, value in carried_state.items()
+                if name in {c.entry.name for c in tr.loop.carried}
+            }
+            r = run_loop(tr.loop, mem, 0, trip // factor, carried_init=init)
+            carried_state.update(r.carried)
+            if trip % factor:
+                r = run_loop(
+                    tr.cleanup,
+                    mem,
+                    (trip // factor) * factor,
+                    trip % factor,
+                    carried_init={
+                        name: carried_state[name]
+                        for name in {c.entry.name for c in tr.cleanup.carried}
+                        if name in carried_state
+                    },
+                )
+                carried_state.update(r.carried)
+        assert mem.snapshot_user_arrays() == ref.snapshot_user_arrays()

@@ -1,0 +1,146 @@
+"""Tests for kernels, the loop generator, and the SPEC corpus."""
+
+import pytest
+
+from repro.dependence.analysis import analyze_loop
+from repro.interp.interpreter import run_loop
+from repro.interp.memory import memory_for_loop
+from repro.ir.verifier import verify_loop
+from repro.workloads.generator import ARRAY_ELEMS, GENERATORS, generate
+from repro.workloads.kernels import ALL_KERNELS
+from repro.workloads.spec import (
+    BENCHMARK_NAMES,
+    PROFILES,
+    build_benchmark,
+    build_suite,
+)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_kernels_verify_and_run(self, name):
+        loop = ALL_KERNELS[name]()
+        verify_loop(loop)
+        mem = memory_for_loop(loop, seed=1)
+        run_loop(loop, mem, 0, 16)
+
+    def test_dot_product_reduction_shape(self):
+        loop = ALL_KERNELS["dot_product"]()
+        dep = analyze_loop(loop, 2)
+        vectorizable = sum(dep.is_vectorizable(op) for op in loop.body)
+        assert vectorizable == 3  # loads + mul, not the reduction add
+
+    def test_complex_multiply_has_no_vectorizable_memory(self):
+        loop = ALL_KERNELS["complex_multiply"]()
+        dep = analyze_loop(loop, 2)
+        for op in loop.body:
+            if op.kind.is_memory:
+                assert not dep.is_vectorizable(op)
+
+    def test_recurrence_cycle_serial(self):
+        """Everything on the recurrence cycle stays scalar; only the
+        independent input load is vectorizable."""
+        loop = ALL_KERNELS["first_order_recurrence"]()
+        dep = analyze_loop(loop, 2)
+        for op in loop.body:
+            if dep.in_cycle(op.uid):
+                assert not dep.is_vectorizable(op)
+        assert len(dep.vectorizable) <= 1
+
+    def test_shift_kernel_vectorizable_below_shift(self):
+        loop = ALL_KERNELS["shift_by_vl"]()
+        assert analyze_loop(loop, 4).vectorizable
+        assert not analyze_loop(loop, 8).vectorizable
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("archetype", sorted(GENERATORS))
+    def test_deterministic(self, archetype):
+        a = generate(archetype, seed=42)
+        b = generate(archetype, seed=42)
+        assert [str(op) for op in a.body] == [str(op) for op in b.body]
+
+    @pytest.mark.parametrize("archetype", sorted(GENERATORS))
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_generated_loops_verify_and_run(self, archetype, seed):
+        loop = generate(archetype, seed)
+        verify_loop(loop)
+        mem = memory_for_loop(loop, seed=seed)
+        run_loop(loop, mem, 0, 12)
+
+    def test_unknown_archetype(self):
+        with pytest.raises(KeyError):
+            generate("quantum", seed=0)
+
+    def test_no_dead_loads_in_fp_chain(self):
+        for seed in range(6):
+            loop = generate("fp_chain", seed)
+            dep = analyze_loop(loop, 2)
+            for op in loop.body:
+                if op.is_load:
+                    assert dep.graph.successors(op.uid), f"dead load in seed {seed}"
+
+    def test_recurrence_cycle_never_vectorizable(self):
+        for seed in range(6):
+            loop = generate("recurrence", seed)
+            dep = analyze_loop(loop, 2)
+            for op in loop.body:
+                if dep.in_cycle(op.uid):
+                    assert not dep.is_vectorizable(op)
+
+    def test_strided_memory_never_vectorizable(self):
+        for seed in range(6):
+            loop = generate("strided", seed)
+            dep = analyze_loop(loop, 2)
+            for op in loop.body:
+                if op.kind.is_memory:
+                    assert not dep.is_vectorizable(op)
+
+    def test_array_sizes_cover_interpreter_range(self):
+        for archetype in GENERATORS:
+            loop = generate(archetype, seed=5)
+            for info in loop.arrays.values():
+                assert info.size >= ARRAY_ELEMS
+
+
+class TestSpecCorpus:
+    def test_nine_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 9
+
+    def test_loop_counts_match_table3(self):
+        # Table 3 loop counts are the *resource-limited* counts; the
+        # profiles additionally include recurrence-bound loops.
+        expected_totals = {
+            name: sum(p.archetype_counts.values())
+            for name, p in PROFILES.items()
+        }
+        for name in BENCHMARK_NAMES:
+            bench = build_benchmark(name)
+            assert bench.loop_count == expected_totals[name]
+
+    def test_corpus_deterministic(self):
+        a = build_benchmark("101.tomcatv")
+        b = build_benchmark("101.tomcatv")
+        assert [w.loop.name for w in a.loops] == [w.loop.name for w in b.loops]
+        assert [w.trip_count for w in a.loops] == [w.trip_count for w in b.loops]
+        assert [w.invocations for w in a.loops] == [w.invocations for w in b.loops]
+
+    def test_trip_counts_in_profile_range(self):
+        for name in BENCHMARK_NAMES:
+            profile = PROFILES[name]
+            bench = build_benchmark(name)
+            lo, hi = profile.trip_range
+            assert all(lo <= w.trip_count <= hi for w in bench.loops)
+
+    def test_serial_fractions_sane(self):
+        for profile in PROFILES.values():
+            assert 0.0 <= profile.serial_fraction < 0.5
+
+    def test_all_corpus_loops_verify(self):
+        for bench in build_suite(("125.turb3d", "101.tomcatv")):
+            for w in bench.loops:
+                verify_loop(w.loop)
+
+    def test_turb3d_has_low_trip_counts(self):
+        bench = build_benchmark("125.turb3d")
+        assert max(w.trip_count for w in bench.loops) <= 16
