@@ -29,6 +29,11 @@ from repro.machine.configs import (
     paper_machine,
     wide_vector_machine,
 )
+from repro.observability import (
+    recording,
+    render_stats_table,
+    write_trace,
+)
 from repro.pipeline.kernel import kernel_listing, pipeline_listing
 from repro.vectorize.communication import Side
 
@@ -65,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--pipeline", action="store_true", help="print the unrolled pipeline")
     parser.add_argument("--run", action="store_true", help="execute functionally")
     parser.add_argument("--all", action="store_true", help="print everything")
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print phase timings, search counters, and events after compiling",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write a machine-readable JSON trace of the compilation",
+    )
     return parser
 
 
@@ -95,9 +110,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  [{verdict:>12}] {op}")
         print()
 
-    compiled = compile_loop(
-        loop, machine, strategy, optimize=args.optimize
-    )
+    recorder = None
+    if args.stats or args.trace_json:
+        with recording() as recorder:
+            compiled = compile_loop(
+                loop, machine, strategy, optimize=args.optimize
+            )
+    else:
+        compiled = compile_loop(
+            loop, machine, strategy, optimize=args.optimize
+        )
 
     if args.partition and compiled.partition is not None:
         p = compiled.partition
@@ -144,6 +166,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  carried {name} = {value}")
         for name, value in sorted(result.live_outs.items()):
             print(f"  result {name} = {value}")
+
+    if recorder is not None:
+        if args.stats:
+            print()
+            print(render_stats_table(recorder))
+        if args.trace_json:
+            write_trace(recorder, args.trace_json)
+            print(f"\nwrote trace to {args.trace_json}")
     return 0
 
 

@@ -16,6 +16,7 @@ from repro.interp.interpreter import run_loop
 from repro.interp.memory import MemoryImage
 from repro.ir.loop import Loop
 from repro.machine.machine import MachineDescription
+from repro.observability.recorder import active_recorder, maybe_span
 from repro.pipeline.list_schedule import list_schedule_length
 from repro.pipeline.scheduler import ModuloSchedule, modulo_schedule
 from repro.regalloc.allocator import AllocationResult, allocate_kernel
@@ -32,6 +33,11 @@ from repro.vectorize.transform import TransformResult, transform_loop
 from repro.compiler.strategies import Strategy
 
 MAX_ALLOCATION_RETRIES = 3
+
+
+class RegisterAllocationError(RuntimeError):
+    """Register allocation failed after every retry and no spill could
+    relieve the pressure."""
 
 
 @dataclass
@@ -176,60 +182,111 @@ class CompiledLoop:
 # ----------------------------------------------------------------------
 
 
+def _overflowing_files(allocation: AllocationResult) -> dict[str, list[int]]:
+    return {
+        p.file: [p.max_live, p.capacity]
+        for p in allocation.pressures.values()
+        if not p.fits
+    }
+
+
 def _compile_unit(
     transform: TransformResult,
     machine: MachineDescription,
 ) -> CompiledUnit:
-    dep = analyze_loop(transform.loop, machine.vector_length)
-    min_ii: int | None = None
-    for attempt in range(MAX_ALLOCATION_RETRIES + 1):
-        schedule = modulo_schedule(
-            transform.loop, dep.graph, machine, min_ii=min_ii
-        )
-        allocation = allocate_kernel(schedule, dep.graph)
-        if allocation.ok or attempt == MAX_ALLOCATION_RETRIES:
-            break
-        # Register pressure exceeded a file: retry at a longer II, which
-        # shortens cross-stage lifetimes.
-        min_ii = schedule.ii + 1
+    rec = active_recorder()
+    with maybe_span(
+        rec, "compile_unit", loop=transform.loop.name, factor=transform.factor
+    ):
+        with maybe_span(rec, "dependence", loop=transform.loop.name):
+            dep = analyze_loop(transform.loop, machine.vector_length)
+        min_ii: int | None = None
+        for attempt in range(MAX_ALLOCATION_RETRIES + 1):
+            schedule = modulo_schedule(
+                transform.loop, dep.graph, machine, min_ii=min_ii
+            )
+            allocation = allocate_kernel(schedule, dep.graph)
+            if allocation.ok or attempt == MAX_ALLOCATION_RETRIES:
+                break
+            # Register pressure exceeded a file: retry at a longer II, which
+            # shortens cross-stage lifetimes.
+            min_ii = schedule.ii + 1
+            if rec is not None:
+                rec.count("regalloc.retries")
+                rec.event(
+                    "regalloc.retry",
+                    loop=transform.loop.name,
+                    attempt=attempt + 1,
+                    ii=schedule.ii,
+                    next_min_ii=min_ii,
+                    overflow=_overflowing_files(allocation),
+                )
 
-    if not allocation.ok:
-        # Last resort: spill the longest-lived values to memory and
-        # recompile.  The spill traffic competes for the load/store units,
-        # so the schedule is redone from scratch.
-        from dataclasses import replace as dc_replace
+        if not allocation.ok:
+            # Last resort: spill the longest-lived values to memory and
+            # recompile.  The spill traffic competes for the load/store units,
+            # so the schedule is redone from scratch.
+            from dataclasses import replace as dc_replace
 
-        from repro.regalloc.spill import spill_for_pressure
+            from repro.regalloc.spill import spill_for_pressure
 
-        spilled = spill_for_pressure(
-            transform.loop, schedule, dep.graph, allocation
-        )
-        if spilled is not None:
+            with maybe_span(rec, "spill", loop=transform.loop.name):
+                spilled = spill_for_pressure(
+                    transform.loop, schedule, dep.graph, allocation
+                )
+            if spilled is None:
+                raise RegisterAllocationError(
+                    f"register allocation for loop {transform.loop.name!r} "
+                    f"failed at II={schedule.ii} after "
+                    f"{MAX_ALLOCATION_RETRIES} II retries, and no value is "
+                    f"spillable; over-capacity files (max_live/capacity): "
+                    f"{_overflowing_files(allocation)}"
+                )
+            if rec is not None:
+                rec.count("regalloc.spill_rounds")
+                rec.event(
+                    "regalloc.spill",
+                    loop=transform.loop.name,
+                    ii=schedule.ii,
+                    overflow=_overflowing_files(allocation),
+                )
             transform = dc_replace(transform, loop=spilled)
             dep = analyze_loop(spilled, machine.vector_length)
             schedule = modulo_schedule(spilled, dep.graph, machine)
             allocation = allocate_kernel(schedule, dep.graph)
 
-    cleanup_cycles = 0
-    if transform.cleanup is not None:
-        cdep = analyze_loop(transform.cleanup, machine.vector_length)
-        cleanup_cycles = list_schedule_length(
-            transform.cleanup, cdep.graph, machine
-        )
+        cleanup_cycles = 0
+        if transform.cleanup is not None:
+            with maybe_span(rec, "cleanup_schedule", loop=transform.loop.name):
+                cdep = analyze_loop(transform.cleanup, machine.vector_length)
+                cleanup_cycles = list_schedule_length(
+                    transform.cleanup, cdep.graph, machine
+                )
 
-    timing = UnitTiming(
-        ii=schedule.ii,
-        stages=schedule.stage_count,
-        factor=transform.factor,
-        cleanup_cycles=cleanup_cycles,
-        preheader_cycles=len(transform.loop.preheader),
-    )
-    return CompiledUnit(
-        transform=transform,
-        schedule=schedule,
-        allocation=allocation,
-        timing=timing,
-    )
+        timing = UnitTiming(
+            ii=schedule.ii,
+            stages=schedule.stage_count,
+            factor=transform.factor,
+            cleanup_cycles=cleanup_cycles,
+            preheader_cycles=len(transform.loop.preheader),
+        )
+        if rec is not None:
+            rec.event(
+                "unit.compiled",
+                loop=transform.loop.name,
+                ii=schedule.ii,
+                res_mii=schedule.res_mii,
+                rec_mii=schedule.rec_mii,
+                stages=schedule.stage_count,
+                factor=transform.factor,
+                allocation_ok=allocation.ok,
+            )
+        return CompiledUnit(
+            transform=transform,
+            schedule=schedule,
+            allocation=allocation,
+            timing=timing,
+        )
 
 
 def compile_loop(
@@ -253,61 +310,87 @@ def compile_loop(
     (reordering the operations), letting otherwise serial reduction loops
     vectorize fully.
     """
-    if optimize:
-        from repro.opt.pass_manager import optimize_loop
+    rec = active_recorder()
+    with maybe_span(
+        rec,
+        "compile_loop",
+        loop=loop.name,
+        strategy=strategy.value,
+        machine=machine.name,
+    ):
+        if optimize:
+            from repro.opt.pass_manager import optimize_loop
 
-        loop = optimize_loop(loop)
-    vl = machine.vector_length
-    dep = analyze_loop(loop, vl)
+            with maybe_span(rec, "optimize", loop=loop.name):
+                loop = optimize_loop(loop)
+        vl = machine.vector_length
+        with maybe_span(rec, "dependence", loop=loop.name):
+            dep = analyze_loop(loop, vl)
 
-    if strategy is Strategy.BASELINE:
-        factor = baseline_unroll if baseline_unroll is not None else vl
-        assignment = {op.uid: Side.SCALAR for op in loop.body}
-        tr = transform_loop(dep, machine, assignment, factor, suffix=".base")
-        return CompiledLoop(loop, machine, strategy, [_compile_unit(tr, machine)])
-
-    if strategy is Strategy.FULL:
-        assignment = full_assignment(dep)
-        factor = vl
-        tr = transform_loop(dep, machine, assignment, factor, suffix=".full")
-        return CompiledLoop(loop, machine, strategy, [_compile_unit(tr, machine)])
-
-    if strategy is Strategy.SELECTIVE:
-        if allow_reassociation:
-            from repro.vectorize.reduction import vectorize_reduction_loop
-
-            tr_red = vectorize_reduction_loop(dep, machine)
-            if tr_red is not None:
-                return CompiledLoop(
-                    loop, machine, strategy, [_compile_unit(tr_red, machine)]
+        if strategy is Strategy.BASELINE:
+            factor = baseline_unroll if baseline_unroll is not None else vl
+            assignment = {op.uid: Side.SCALAR for op in loop.body}
+            with maybe_span(rec, "transform", loop=loop.name):
+                tr = transform_loop(
+                    dep, machine, assignment, factor, suffix=".base"
                 )
-        partition = partition_operations(dep, machine, partition_config)
-        tr = transform_loop(
-            dep, machine, partition.assignment, vl, suffix=".sel"
-        )
-        return CompiledLoop(
-            loop,
-            machine,
-            strategy,
-            [_compile_unit(tr, machine)],
-            partition=partition,
-        )
+            return CompiledLoop(
+                loop, machine, strategy, [_compile_unit(tr, machine)]
+            )
 
-    assert strategy is Strategy.TRADITIONAL
-    units: list[CompiledUnit] = []
-    for dist in distribute_loop(dep, machine):
-        sub_dep = analyze_loop(dist.loop, vl)
-        if dist.vector:
-            assignment = {
-                op.uid: (
-                    Side.VECTOR if sub_dep.is_vectorizable(op) else Side.SCALAR
-                )
-                for op in dist.loop.body
-            }
+        if strategy is Strategy.FULL:
+            assignment = full_assignment(dep)
             factor = vl
-        else:
-            assignment = {op.uid: Side.SCALAR for op in dist.loop.body}
-            factor = 1
-        tr = transform_loop(sub_dep, machine, assignment, factor, suffix=".trad")
-        units.append(_compile_unit(tr, machine))
-    return CompiledLoop(loop, machine, strategy, units)
+            with maybe_span(rec, "transform", loop=loop.name):
+                tr = transform_loop(
+                    dep, machine, assignment, factor, suffix=".full"
+                )
+            return CompiledLoop(
+                loop, machine, strategy, [_compile_unit(tr, machine)]
+            )
+
+        if strategy is Strategy.SELECTIVE:
+            if allow_reassociation:
+                from repro.vectorize.reduction import vectorize_reduction_loop
+
+                tr_red = vectorize_reduction_loop(dep, machine)
+                if tr_red is not None:
+                    return CompiledLoop(
+                        loop, machine, strategy, [_compile_unit(tr_red, machine)]
+                    )
+            partition = partition_operations(dep, machine, partition_config)
+            with maybe_span(rec, "transform", loop=loop.name):
+                tr = transform_loop(
+                    dep, machine, partition.assignment, vl, suffix=".sel"
+                )
+            return CompiledLoop(
+                loop,
+                machine,
+                strategy,
+                [_compile_unit(tr, machine)],
+                partition=partition,
+            )
+
+        assert strategy is Strategy.TRADITIONAL
+        units: list[CompiledUnit] = []
+        for dist in distribute_loop(dep, machine):
+            sub_dep = analyze_loop(dist.loop, vl)
+            if dist.vector:
+                assignment = {
+                    op.uid: (
+                        Side.VECTOR
+                        if sub_dep.is_vectorizable(op)
+                        else Side.SCALAR
+                    )
+                    for op in dist.loop.body
+                }
+                factor = vl
+            else:
+                assignment = {op.uid: Side.SCALAR for op in dist.loop.body}
+                factor = 1
+            with maybe_span(rec, "transform", loop=dist.loop.name):
+                tr = transform_loop(
+                    sub_dep, machine, assignment, factor, suffix=".trad"
+                )
+            units.append(_compile_unit(tr, machine))
+        return CompiledLoop(loop, machine, strategy, units)

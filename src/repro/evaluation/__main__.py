@@ -22,6 +22,7 @@ from repro.evaluation.tables import (
     format_table4,
     format_table5,
 )
+from repro.observability import recording, render_stats_table, write_trace
 from repro.workloads.spec import BENCHMARK_NAMES
 
 EXPERIMENTS = ("figure1", "table2", "table3", "table4", "table5")
@@ -46,24 +47,53 @@ def main(argv: list[str] | None = None) -> int:
         choices=list(BENCHMARK_NAMES),
         help="restrict to a subset of benchmarks",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print aggregate compile telemetry after the experiments",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write a JSON trace covering every compilation performed",
+    )
     args = parser.parse_args(argv)
     experiments = args.experiments or list(EXPERIMENTS)
     names = tuple(args.benchmarks)
 
-    evaluator = Evaluator()
-    for experiment in experiments:
-        start = time.time()
-        if experiment == "figure1":
-            print(format_figure1(figure1_iis()))
-        elif experiment == "table2":
-            print(format_table2(evaluator.table2(names)))
-        elif experiment == "table3":
-            print(format_table3(evaluator.table3(names)))
-        elif experiment == "table4":
-            print(format_table4(evaluator.table4(names)))
-        elif experiment == "table5":
-            print(format_table5(evaluator.table5(names)))
-        print(f"[{experiment}: {time.time() - start:.1f}s]\n")
+    recorder = None
+    session = (
+        recording(trace=bool(args.trace_json) or args.stats)
+        if (args.stats or args.trace_json)
+        else None
+    )
+    if session is not None:
+        recorder = session.__enter__()
+    try:
+        evaluator = Evaluator()
+        for experiment in experiments:
+            start = time.time()
+            if experiment == "figure1":
+                print(format_figure1(figure1_iis()))
+            elif experiment == "table2":
+                print(format_table2(evaluator.table2(names)))
+            elif experiment == "table3":
+                print(format_table3(evaluator.table3(names)))
+            elif experiment == "table4":
+                print(format_table4(evaluator.table4(names)))
+            elif experiment == "table5":
+                print(format_table5(evaluator.table5(names)))
+            print(f"[{experiment}: {time.time() - start:.1f}s]\n")
+    finally:
+        if session is not None:
+            session.__exit__(None, None, None)
+
+    if recorder is not None:
+        if args.stats:
+            print(render_stats_table(recorder))
+        if args.trace_json:
+            write_trace(recorder, args.trace_json)
+            print(f"wrote trace to {args.trace_json}")
     return 0
 
 

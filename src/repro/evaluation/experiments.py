@@ -22,12 +22,14 @@ strategy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.compiler.driver import CompiledLoop, compile_loop
 from repro.compiler.strategies import Strategy
 from repro.machine.configs import aligned_machine, figure1_machine, paper_machine
 from repro.machine.machine import MachineDescription
+from repro.observability.recorder import active_recorder, maybe_span
 from repro.vectorize.partition import PartitionConfig
 from repro.workloads.kernels import dot_product
 from repro.workloads.spec import (
@@ -76,6 +78,18 @@ class LoopComparison:
 
 
 @dataclass
+class CompileTelemetry:
+    """Aggregate compile-time effort for one (benchmark, variant) batch."""
+
+    loops: int = 0
+    wall_ms: float = 0.0
+    kl_iterations: int = 0
+    kl_probes: int = 0
+    kl_bin_packs: int = 0
+    sched_attempts: int = 0
+
+
+@dataclass
 class BenchmarkEvaluation:
     benchmark: Benchmark
     loop_cycles: dict[str, list[int]]  # label -> per-loop weighted cycles
@@ -96,6 +110,7 @@ class Evaluator:
         self.machine = machine or paper_machine()
         self._benchmarks: dict[str, Benchmark] = {}
         self._compiled: dict[tuple[str, str], list[CompiledLoop]] = {}
+        self.telemetry: dict[tuple[str, str], CompileTelemetry] = {}
 
     # ------------------------------------------------------------------
 
@@ -116,16 +131,45 @@ class Evaluator:
         key = (name, variant.label)
         if key not in self._compiled:
             bench = self.benchmark(name)
-            self._compiled[key] = [
-                compile_loop(
-                    wl.loop,
-                    variant.machine,
-                    variant.strategy,
-                    partition_config=variant.partition_config,
+            rec = active_recorder()
+            telemetry = CompileTelemetry()
+            with maybe_span(
+                rec, "compile_benchmark", benchmark=name, variant=variant.label
+            ):
+                start = time.perf_counter()
+                loops = [
+                    compile_loop(
+                        wl.loop,
+                        variant.machine,
+                        variant.strategy,
+                        partition_config=variant.partition_config,
+                    )
+                    for wl in bench.loops
+                ]
+                telemetry.wall_ms = (time.perf_counter() - start) * 1e3
+            telemetry.loops = len(loops)
+            for compiled in loops:
+                if compiled.partition is not None:
+                    telemetry.kl_iterations += compiled.partition.iterations
+                    telemetry.kl_probes += compiled.partition.n_probes
+                    telemetry.kl_bin_packs += compiled.partition.n_bin_packs
+                telemetry.sched_attempts += sum(
+                    u.schedule.attempts for u in compiled.units
                 )
-                for wl in bench.loops
-            ]
+            self.telemetry[key] = telemetry
+            self._compiled[key] = loops
         return self._compiled[key]
+
+    def telemetry_rows(
+        self, names: tuple[str, ...] = BENCHMARK_NAMES
+    ) -> dict[str, dict[str, CompileTelemetry]]:
+        """Per-benchmark, per-variant compile telemetry for everything
+        compiled so far (ordered by benchmark name)."""
+        rows: dict[str, dict[str, CompileTelemetry]] = {}
+        for (name, label), telemetry in sorted(self.telemetry.items()):
+            if name in names:
+                rows.setdefault(name, {})[label] = telemetry
+        return rows
 
     def evaluate(
         self, name: str, variants: list[Variant] | None = None

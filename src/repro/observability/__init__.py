@@ -1,0 +1,52 @@
+"""Compiler-pipeline observability: spans, counters, structured events.
+
+Modeled on LLVM's ``-time-passes`` / ``-stats`` / optimization-remarks
+trio.  One :class:`Recorder` holds a session; installing it (explicitly,
+via the CLI ``--stats`` / ``--trace-json`` flags, or via the
+``REPRO_STATS`` / ``REPRO_TRACE`` environment variables) turns on the
+instrumentation wired through the compilation pipeline.  With no
+recorder installed every instrumentation site is a single ``None`` check.
+
+Typical library use::
+
+    from repro.observability import recording, render_stats_table
+
+    with recording() as rec:
+        compile_loop(loop, machine, Strategy.SELECTIVE)
+    print(render_stats_table(rec))
+"""
+
+from repro.observability.events import Event, EventLog
+from repro.observability.export import (
+    TRACE_SCHEMA_VERSION,
+    recorder_to_dict,
+    render_stats_table,
+    write_trace,
+)
+from repro.observability.recorder import (
+    Recorder,
+    active_recorder,
+    install,
+    maybe_span,
+    recording,
+)
+from repro.observability.stats import Distribution, StatRegistry
+from repro.observability.trace import Span, SpanTracer
+
+__all__ = [
+    "Distribution",
+    "Event",
+    "EventLog",
+    "Recorder",
+    "Span",
+    "SpanTracer",
+    "StatRegistry",
+    "TRACE_SCHEMA_VERSION",
+    "active_recorder",
+    "install",
+    "maybe_span",
+    "recorder_to_dict",
+    "recording",
+    "render_stats_table",
+    "write_trace",
+]

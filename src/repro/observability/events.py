@@ -1,0 +1,76 @@
+"""Structured decision-point events (the optimization-remarks half).
+
+Where spans answer "where did the time go" and counters answer "how much
+work was done", events answer "*why* did the compiler do that": a
+register-allocation retry carries the II it bumped to and the files that
+overflowed; a scheduler budget exhaustion carries the II and restart
+variant that gave up.  Each event records the span path that was open
+when it fired, so a trace viewer can attach remarks to phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def jsonify(value: object) -> object:
+    """Coerce event/attr payloads to JSON-stable types so an exported
+    trace round-trips through ``json.dumps``/``loads`` unchanged."""
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [jsonify(v) for v in items]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    return repr(value)
+
+
+@dataclass
+class Event:
+    """One structured remark."""
+
+    seq: int
+    name: str
+    phase: str
+    data: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "name": self.name,
+            "phase": self.phase,
+            "data": jsonify(self.data),
+        }
+
+
+class EventLog:
+    """Append-only event list for one recording session."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, name: str, phase: str, data: dict[str, object]) -> Event:
+        event = Event(seq=len(self.events), name=name, phase=phase, data=data)
+        self.events.append(event)
+        return event
+
+    def by_name(self, name: str) -> list[Event]:
+        return [e for e in self.events if e.name == name]
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return counts
+
+    def reset(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dict(self) -> list[dict[str, object]]:
+        return [e.to_dict() for e in self.events]

@@ -19,6 +19,7 @@ from repro.dependence.graph import DependenceGraph
 from repro.ir.loop import Loop
 from repro.ir.operations import Operation
 from repro.machine.machine import MachineDescription
+from repro.observability.recorder import Recorder, active_recorder, maybe_span
 from repro.pipeline.mii import edge_delay, minimum_ii
 from repro.pipeline.reservation import ModuloReservationTable
 
@@ -96,6 +97,7 @@ def _try_schedule(
     ii: int,
     budget: int,
     jitter_seed: int | None = None,
+    rec: Recorder | None = None,
 ) -> dict[int, int] | None:
     height: dict[int, float] = dict(_heights(loop, graph, machine, ii))
     rng = None
@@ -116,6 +118,8 @@ def _try_schedule(
     times: dict[int, int] = {}
     last_time: dict[int, int] = {}
     mrt = ModuloReservationTable(machine, ii)
+    placements = 0
+    evictions = 0
 
     # Max-heap on (height, reverse body order).
     ready = [(-height[op.uid], body_index[op.uid], op.uid) for op in loop.body]
@@ -129,8 +133,21 @@ def _try_schedule(
 
     while ready:
         if budget <= 0:
+            if rec is not None:
+                rec.count("sched.budget_exhausted")
+                rec.count("sched.placements", placements)
+                rec.count("sched.evictions", evictions)
+                rec.event(
+                    "sched.budget_exhausted",
+                    loop=loop.name,
+                    ii=ii,
+                    variant=jitter_seed,
+                    placements=placements,
+                    evictions=evictions,
+                )
             return None
         budget -= 1
+        placements += 1
         _, _, uid = heapq.heappop(ready)
         in_queue.discard(uid)
         op = by_uid[uid]
@@ -165,6 +182,7 @@ def _try_schedule(
             for evicted in mrt.place_evicting(op, t):
                 del times[evicted]
                 push(evicted)
+                evictions += 1
             placed_at = t
 
         times[uid] = placed_at
@@ -179,6 +197,7 @@ def _try_schedule(
                 mrt.remove(edge.dst)
                 del times[edge.dst]
                 push(edge.dst)
+                evictions += 1
         for edge in graph.predecessors(uid):
             if edge.src == uid or edge.src not in times:
                 continue
@@ -187,7 +206,11 @@ def _try_schedule(
                 mrt.remove(edge.src)
                 del times[edge.src]
                 push(edge.src)
+                evictions += 1
 
+    if rec is not None:
+        rec.count("sched.placements", placements)
+        rec.count("sched.evictions", evictions)
     return times if len(times) == len(loop.body) else None
 
 
@@ -206,30 +229,56 @@ def modulo_schedule(
     """
     if not loop.body:
         raise SchedulingError(f"loop {loop.name!r} has an empty body")
-    mii, res, rec = minimum_ii(loop, graph, machine)
-    start = max(mii, min_ii or 1)
-    budget = max(budget_ratio * len(loop.body), 40)
-    max_ii = max(start * max_ii_factor, start + 32)
+    recorder = active_recorder()
+    with maybe_span(recorder, "modulo_schedule", loop=loop.name):
+        mii, res, rec = minimum_ii(loop, graph, machine)
+        start = max(mii, min_ii or 1)
+        budget = max(budget_ratio * len(loop.body), 40)
+        max_ii = max(start * max_ii_factor, start + 32)
 
-    attempts = 0
-    for ii in range(start, max_ii + 1):
-        for variant in (None, 1, 2, 3):
-            attempts += 1
-            times = _try_schedule(loop, graph, machine, ii, budget, variant)
-            if times is not None:
-                _check_schedule(loop, graph, machine, ii, times)
-                return ModuloSchedule(
-                    loop=loop,
-                    machine=machine,
-                    ii=ii,
-                    times=times,
-                    res_mii=res,
-                    rec_mii=rec,
-                    attempts=attempts,
+        attempts = 0
+        for ii in range(start, max_ii + 1):
+            for variant in (None, 1, 2, 3):
+                attempts += 1
+                times = _try_schedule(
+                    loop, graph, machine, ii, budget, variant, recorder
                 )
-    raise SchedulingError(
-        f"no schedule for {loop.name!r} with II in [{start}, {max_ii}]"
-    )
+                if times is not None:
+                    _check_schedule(loop, graph, machine, ii, times)
+                    if recorder is not None:
+                        recorder.count("sched.loops_scheduled")
+                        recorder.count("sched.ii_attempts", attempts)
+                        recorder.observe("sched.ii_over_mii", ii - mii)
+                        recorder.event(
+                            "sched.scheduled",
+                            loop=loop.name,
+                            ii=ii,
+                            res_mii=res,
+                            rec_mii=rec,
+                            attempts=attempts,
+                            variant=variant,
+                        )
+                    return ModuloSchedule(
+                        loop=loop,
+                        machine=machine,
+                        ii=ii,
+                        times=times,
+                        res_mii=res,
+                        rec_mii=rec,
+                        attempts=attempts,
+                    )
+        if recorder is not None:
+            recorder.count("sched.ii_attempts", attempts)
+            recorder.event(
+                "sched.failed",
+                loop=loop.name,
+                start_ii=start,
+                max_ii=max_ii,
+                attempts=attempts,
+            )
+        raise SchedulingError(
+            f"no schedule for {loop.name!r} with II in [{start}, {max_ii}]"
+        )
 
 
 def _check_schedule(

@@ -84,6 +84,32 @@ def allocate_kernel(
     graph: DependenceGraph,
 ) -> AllocationResult:
     """MaxLive analysis and rotating assignment for one kernel."""
+    from repro.observability.recorder import active_recorder, maybe_span
+
+    rec = active_recorder()
+    with maybe_span(rec, "regalloc", loop=schedule.loop.name, ii=schedule.ii):
+        result = _allocate_kernel(schedule, graph)
+        if rec is not None:
+            rec.count("regalloc.calls")
+            if not result.ok:
+                rec.count("regalloc.failures")
+                rec.event(
+                    "regalloc.overflow",
+                    loop=schedule.loop.name,
+                    ii=schedule.ii,
+                    overflow={
+                        p.file: [p.max_live, p.capacity]
+                        for p in result.pressures.values()
+                        if not p.fits
+                    },
+                )
+        return result
+
+
+def _allocate_kernel(
+    schedule: ModuloSchedule,
+    graph: DependenceGraph,
+) -> AllocationResult:
     loop = schedule.loop
     machine = schedule.machine
     ii = schedule.ii

@@ -70,6 +70,13 @@ class PartitionResult:
     scalar_cost: int
     iterations: int
     history: list[int] = field(default_factory=list)
+    # Search-effort telemetry: moves actually performed, configurations
+    # that improved the best cost, TEST-REPARTITION probes, and full
+    # BIN-PACK invocations.
+    moves: int = 0
+    moves_accepted: int = 0
+    n_probes: int = 0
+    n_bin_packs: int = 0
 
     @property
     def vectorized(self) -> set[int]:
@@ -101,6 +108,11 @@ class PartitionCostModel:
             op.uid: transfer_keys_touching(self.dataflow, op)
             for op in dep.loop.body
         }
+        # Plain-int work counters (always on — an increment is cheaper
+        # than any guard); surfaced through PartitionResult and, when a
+        # recorder is active, the kl.* counters.
+        self.n_bin_packs = 0
+        self.n_probes = 0
 
     def op_opcodes(self, op: Operation, side: Side) -> list[OpcodeInfo]:
         if side is Side.SCALAR:
@@ -141,6 +153,7 @@ class PartitionCostModel:
         Operations with the fewest placement alternatives are packed
         first; ties resolve in body order.
         """
+        self.n_bin_packs += 1
         bins = Bins(self.machine, balance_ties=self.config.balanced_bin_packing)
         ordered = sorted(
             self.dep.loop.body,
@@ -167,6 +180,7 @@ class PartitionCostModel:
     ) -> int:
         """Cost of the configuration with ``op`` switched, without a full
         re-pack (Figure 2, TEST-REPARTITION)."""
+        self.n_probes += 1
         probe = bins.copy()
         probe.release(("op", op.uid))
         touched = self.touch_keys[op.uid]
@@ -195,64 +209,97 @@ def partition_operations(
     config: PartitionConfig | None = None,
 ) -> PartitionResult:
     """Run the Figure 2 partitioner on an analyzed loop."""
+    from repro.observability.recorder import active_recorder, maybe_span
+
     config = config or PartitionConfig()
-    model = PartitionCostModel(dep, machine, config)
-    body = dep.loop.body
+    rec = active_recorder()
+    with maybe_span(rec, "partition", loop=dep.loop.name):
+        model = PartitionCostModel(dep, machine, config)
+        body = dep.loop.body
 
-    assignment: dict[int, Side] = {op.uid: Side.SCALAR for op in body}
-    scalar_bins = model.bin_pack(assignment)
-    scalar_cost = scalar_bins.high_water_mark()
+        assignment: dict[int, Side] = {op.uid: Side.SCALAR for op in body}
+        scalar_bins = model.bin_pack(assignment)
+        scalar_cost = scalar_bins.high_water_mark()
 
-    candidates = [op for op in body if dep.is_vectorizable(op)]
-    if not candidates or not machine.supports_vectors:
-        return PartitionResult(
-            assignment=assignment,
-            cost=scalar_cost,
-            scalar_cost=scalar_cost,
-            iterations=0,
-            history=[scalar_cost],
-        )
+        candidates = [op for op in body if dep.is_vectorizable(op)]
+        if not candidates or not machine.supports_vectors:
+            return PartitionResult(
+                assignment=assignment,
+                cost=scalar_cost,
+                scalar_cost=scalar_cost,
+                iterations=0,
+                history=[scalar_cost],
+                n_bin_packs=model.n_bin_packs,
+            )
 
-    best_assignment = dict(assignment)
-    best_cost = scalar_cost
-    history = [scalar_cost]
-    last_cost: float = float("inf")
-    iterations = 0
+        best_assignment = dict(assignment)
+        best_cost = scalar_cost
+        history = [scalar_cost]
+        last_cost: float = float("inf")
+        iterations = 0
+        moves = 0
+        moves_accepted = 0
 
-    while last_cost != best_cost:
-        if config.max_iterations is not None and iterations >= config.max_iterations:
-            break
-        last_cost = best_cost
-        iterations += 1
-        locked: set[int] = set()
-        bins = model.bin_pack(assignment)
-
-        for _ in range(len(candidates)):
-            # FIND-OP-TO-SWITCH: cheapest probe among unlocked candidates.
-            best_op: Operation | None = None
-            best_probe: float = float("inf")
-            for op in candidates:
-                if op.uid in locked:
-                    continue
-                probe = model.probe_cost(bins, assignment, op)
-                if probe < best_probe:
-                    best_probe = probe
-                    best_op = op
-            assert best_op is not None
-            assignment[best_op.uid] = assignment[best_op.uid].flipped()
-            locked.add(best_op.uid)
+        while last_cost != best_cost:
+            if config.max_iterations is not None and iterations >= config.max_iterations:
+                break
+            last_cost = best_cost
+            iterations += 1
+            locked: set[int] = set()
             bins = model.bin_pack(assignment)
-            cost = bins.high_water_mark()
-            if cost < best_cost:
-                best_cost = cost
-                best_assignment = dict(assignment)
-        history.append(best_cost)
-        assignment = dict(best_assignment)
 
-    return PartitionResult(
-        assignment=best_assignment,
-        cost=best_cost,
-        scalar_cost=scalar_cost,
-        iterations=iterations,
-        history=history,
-    )
+            for _ in range(len(candidates)):
+                # FIND-OP-TO-SWITCH: cheapest probe among unlocked candidates.
+                best_op: Operation | None = None
+                best_probe: float = float("inf")
+                for op in candidates:
+                    if op.uid in locked:
+                        continue
+                    probe = model.probe_cost(bins, assignment, op)
+                    if probe < best_probe:
+                        best_probe = probe
+                        best_op = op
+                assert best_op is not None
+                assignment[best_op.uid] = assignment[best_op.uid].flipped()
+                locked.add(best_op.uid)
+                moves += 1
+                bins = model.bin_pack(assignment)
+                cost = bins.high_water_mark()
+                if cost < best_cost:
+                    best_cost = cost
+                    best_assignment = dict(assignment)
+                    moves_accepted += 1
+            history.append(best_cost)
+            assignment = dict(best_assignment)
+
+        result = PartitionResult(
+            assignment=best_assignment,
+            cost=best_cost,
+            scalar_cost=scalar_cost,
+            iterations=iterations,
+            history=history,
+            moves=moves,
+            moves_accepted=moves_accepted,
+            n_probes=model.n_probes,
+            n_bin_packs=model.n_bin_packs,
+        )
+        if rec is not None:
+            rec.count("kl.loops_partitioned")
+            rec.count("kl.iterations", iterations)
+            rec.count("kl.moves_evaluated", model.n_probes)
+            rec.count("kl.moves_accepted", moves_accepted)
+            rec.count("kl.bin_packs", model.n_bin_packs)
+            rec.observe("kl.cost_reduction", scalar_cost - best_cost)
+            rec.event(
+                "kl.converged",
+                loop=dep.loop.name,
+                iterations=iterations,
+                cost=best_cost,
+                scalar_cost=scalar_cost,
+                moves=moves,
+                moves_accepted=moves_accepted,
+                history=list(history),
+                vectorized=len(result.vectorized),
+                candidates=len(candidates),
+            )
+        return result

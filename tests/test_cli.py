@@ -67,6 +67,38 @@ class TestCompilerCLI:
         with pytest.raises(SystemExit):
             compiler_main([dsl_file, "--strategy", "quantum"])
 
+    def test_stats_flag_prints_table(self, dsl_file, capsys):
+        assert compiler_main([dsl_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "=== compilation statistics ===" in out
+        assert "phase wall time" in out
+        assert "compile_loop" in out
+        assert "modulo_schedule" in out
+        assert "kl.moves_evaluated" in out
+        assert "kl.moves_accepted" in out
+        assert "kl.bin_packs" in out
+        assert "sched.ii_attempts" in out
+        assert "regalloc.calls" in out
+
+    def test_trace_json_flag_writes_trace(self, dsl_file, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert compiler_main([dsl_file, "--trace-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace to {path}" in out
+        trace = json.loads(path.read_text())
+        assert trace["schema_version"] == 1
+        assert trace["spans"][0]["name"] == "compile_loop"
+        assert trace["spans"][0]["attrs"]["loop"] == "cli_demo"
+        assert any(e["name"] == "kl.converged" for e in trace["events"])
+        assert trace["counters"]["sched.loops_scheduled"] >= 1
+
+    def test_no_stats_without_flags(self, dsl_file, capsys):
+        assert compiler_main([dsl_file]) == 0
+        out = capsys.readouterr().out
+        assert "compilation statistics" not in out
+
 
 class TestEvaluationCLI:
     def test_figure1(self, capsys):
@@ -80,6 +112,30 @@ class TestEvaluationCLI:
         )
         out = capsys.readouterr().out
         assert "101.tomcatv" in out and "Selective" in out
+
+    def test_stats_and_trace_flags(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "eval_trace.json"
+        assert (
+            evaluation_main(
+                [
+                    "table2",
+                    "--benchmarks",
+                    "101.tomcatv",
+                    "--stats",
+                    "--trace-json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "=== compilation statistics ===" in out
+        assert "kl.moves_evaluated" in out
+        trace = json.loads(path.read_text())
+        names = {s["name"] for s in trace["spans"]}
+        assert "compile_benchmark" in names
 
 
 class TestReport:
