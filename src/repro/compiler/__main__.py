@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--run", action="store_true", help="execute functionally")
     parser.add_argument("--all", action="store_true", help="print everything")
     parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="compile under every strategy and print the II provenance "
+        "report: MII bounds with pressure tables and critical cycles, "
+        "partition reason codes, reservation tables, strategy verdicts",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print phase timings, search counters, and events after compiling",
@@ -97,6 +104,16 @@ def main(argv: list[str] | None = None) -> int:
     loop = parse_loop(source)
     machine = MACHINES[args.machine]()
     strategy = Strategy(args.strategy)
+
+    if args.explain:
+        from repro.compiler.explain import explain_loop
+
+        print(
+            explain_loop(
+                loop, machine, optimize=args.optimize, trip_count=args.trip
+            )
+        )
+        return 0
 
     if args.ir:
         print(loop)

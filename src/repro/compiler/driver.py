@@ -394,3 +394,110 @@ def compile_loop(
                 )
             units.append(_compile_unit(tr, machine))
         return CompiledLoop(loop, machine, strategy, units)
+
+
+# ----------------------------------------------------------------------
+# Strategy comparison (the --explain entry point)
+
+
+def compare_strategies(
+    loop: Loop,
+    machine: MachineDescription,
+    strategies: tuple[Strategy, ...] | None = None,
+    optimize: bool = False,
+) -> dict[str, CompiledLoop]:
+    """Compile ``loop`` under every strategy and remark on the outcome.
+
+    Returns ``{strategy value: CompiledLoop}``.  With a recorder active,
+    emits one ``strategy`` remark per strategy (its steady-state cost and
+    what it spent to get there) plus a verdict remark explaining why the
+    winner won — the Figure 1 / Table 2 argument, per loop.
+    """
+    from repro.compiler.strategies import ALL_STRATEGIES
+
+    strategies = strategies or ALL_STRATEGIES
+    compiled = {
+        s.value: compile_loop(loop, machine, s, optimize=optimize)
+        for s in strategies
+    }
+    rec = active_recorder()
+    if rec is not None:
+        _emit_strategy_remarks(rec, loop, compiled)
+    return compiled
+
+
+def _strategy_shape(c: CompiledLoop) -> str:
+    """One-phrase structural summary of a compiled strategy."""
+    parts = [f"{len(c.units)} loop(s)"]
+    parts.append(f"{c.n_vector_ops} vector op(s)")
+    if c.n_transfers:
+        parts.append(f"{c.n_transfers} transfer(s)")
+    parts.append(
+        "resource-limited" if c.is_resource_limited else "recurrence-limited"
+    )
+    return ", ".join(parts)
+
+
+def _emit_strategy_remarks(
+    rec, loop: Loop, compiled: dict[str, CompiledLoop]
+) -> None:
+    per_iter = {label: c.ii_per_iteration() for label, c in compiled.items()}
+    best = min(per_iter, key=per_iter.get)
+    for label, c in compiled.items():
+        rec.remark(
+            "driver",
+            loop.name,
+            "strategy-cost",
+            f"{label}: II/iteration {per_iter[label]:.2f} "
+            f"({_strategy_shape(c)})",
+            strategy=label,
+            ii_per_iteration=per_iter[label],
+            res_mii_per_iteration=c.res_mii_per_iteration(),
+            rec_mii_per_iteration=c.rec_mii_per_iteration(),
+            units=len(c.units),
+            vector_ops=c.n_vector_ops,
+            transfers=c.n_transfers,
+            resource_limited=c.is_resource_limited,
+        )
+    if "selective" not in per_iter:
+        return
+    sel = per_iter["selective"]
+    rivals = {k: v for k, v in per_iter.items() if k != "selective"}
+    if not rivals:
+        return
+    best_rival = min(rivals, key=rivals.get)
+    margin = rivals[best_rival] - sel
+    if margin > 1e-9:
+        verdict, vs = "selective-won", f"beats {best_rival}"
+    elif margin < -1e-9:
+        verdict, vs = "selective-lost", f"loses to {best_rival}"
+    else:
+        verdict, vs = "selective-tied", f"ties {best_rival}"
+    explanation = []
+    if "full" in compiled:
+        full = compiled["full"]
+        selc = compiled["selective"]
+        kept_scalar = full.n_vector_ops - selc.n_vector_ops
+        if kept_scalar > 0:
+            explanation.append(
+                f"kept {kept_scalar} op(s) scalar "
+                f"(saving {max(0, full.n_transfers - selc.n_transfers)} "
+                "transfer(s))"
+            )
+    if "traditional" in compiled and len(compiled["traditional"].units) > 1:
+        explanation.append(
+            "avoided distributing the loop into "
+            f"{len(compiled['traditional'].units)} pieces"
+        )
+    rec.remark(
+        "driver",
+        loop.name,
+        verdict,
+        f"selective ({sel:.2f} II/iteration) {vs} "
+        f"({rivals[best_rival]:.2f})"
+        + (": " + "; ".join(explanation) if explanation else ""),
+        selective=sel,
+        best_rival=best_rival,
+        best_rival_ii=rivals[best_rival],
+        winner=best,
+    )

@@ -6,6 +6,14 @@ Usage::
     python -m repro.evaluation figure1
     python -m repro.evaluation table2 table3
     python -m repro.evaluation table2 --benchmarks 101.tomcatv 171.swim
+
+Every run writes one machine-readable ``BENCH_<experiment>.json``
+artifact per experiment (disable with ``--no-bench-json``; redirect with
+``--bench-dir``).  ``--compare-baseline PATH`` diffs the run against a
+checked-in baseline and exits nonzero on II or speedup regressions;
+``--write-baseline PATH`` refreshes that baseline.  ``--explain LOOP``
+prints the II provenance report for one workload loop instead of
+running experiments.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ import argparse
 import sys
 import time
 
-from repro.evaluation.experiments import Evaluator, figure1_iis
+from repro.evaluation import bench_io
+from repro.evaluation.experiments import Evaluator
 from repro.evaluation.tables import (
     format_figure1,
     format_table2,
@@ -27,6 +36,42 @@ from repro.workloads.spec import BENCHMARK_NAMES
 
 EXPERIMENTS = ("figure1", "table2", "table3", "table4", "table5")
 
+FORMATTERS = {
+    "figure1": format_figure1,
+    "table2": format_table2,
+    "table3": format_table3,
+    "table4": format_table4,
+    "table5": format_table5,
+}
+
+
+def explain_workload_loop(name: str) -> int:
+    """Print the --explain report for one workload loop (``<bench>.L<i>``)."""
+    from repro.compiler.explain import explain_loop
+    from repro.machine.configs import paper_machine
+    from repro.workloads.spec import build_benchmark
+
+    bench_name = name.rsplit(".L", 1)[0]
+    if bench_name not in BENCHMARK_NAMES:
+        print(
+            f"unknown loop {name!r}: expected <benchmark>.L<index>, "
+            f"benchmarks: {', '.join(BENCHMARK_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    bench = build_benchmark(bench_name)
+    for wl in bench.loops:
+        if wl.loop.name == name:
+            print(explain_loop(wl.loop, paper_machine()))
+            return 0
+    print(
+        f"no loop named {name!r} in {bench_name} "
+        f"(it has {len(bench.loops)} loops: "
+        f"{bench.loops[0].loop.name} .. {bench.loops[-1].loop.name})",
+        file=sys.stderr,
+    )
+    return 2
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -36,9 +81,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        choices=EXPERIMENTS + ((),) and EXPERIMENTS,
-        default=list(EXPERIMENTS),
-        help="which experiments to run (default: all)",
+        metavar="experiment",
+        default=[],
+        help=f"which experiments to run (default: all of "
+        f"{', '.join(EXPERIMENTS)})",
     )
     parser.add_argument(
         "--benchmarks",
@@ -46,6 +92,41 @@ def main(argv: list[str] | None = None) -> int:
         default=list(BENCHMARK_NAMES),
         choices=list(BENCHMARK_NAMES),
         help="restrict to a subset of benchmarks",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="LOOP",
+        help="print the II provenance report for one workload loop "
+        "(e.g. 101.tomcatv.L0) instead of running experiments",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=".",
+        metavar="DIR",
+        help="directory for BENCH_<experiment>.json artifacts (default: .)",
+    )
+    parser.add_argument(
+        "--no-bench-json",
+        action="store_true",
+        help="skip writing BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--compare-baseline",
+        metavar="PATH",
+        help="diff this run against a baseline JSON; exit nonzero on II "
+        "or speedup regressions beyond tolerance",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the combined baseline JSON for the experiments run",
+    )
+    parser.add_argument(
+        "--speedup-tolerance",
+        type=float,
+        default=bench_io.DEFAULT_SPEEDUP_TOLERANCE,
+        help="relative speedup drop tolerated by --compare-baseline "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--stats",
@@ -58,6 +139,16 @@ def main(argv: list[str] | None = None) -> int:
         help="write a JSON trace covering every compilation performed",
     )
     args = parser.parse_args(argv)
+
+    if args.explain:
+        return explain_workload_loop(args.explain)
+
+    for experiment in args.experiments:
+        if experiment not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {experiment!r} "
+                f"(choose from {', '.join(EXPERIMENTS)})"
+            )
     experiments = args.experiments or list(EXPERIMENTS)
     names = tuple(args.benchmarks)
 
@@ -69,24 +160,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     if session is not None:
         recorder = session.__enter__()
+    payloads: dict[str, dict[str, object]] = {}
     try:
         evaluator = Evaluator()
         for experiment in experiments:
             start = time.time()
-            if experiment == "figure1":
-                print(format_figure1(figure1_iis()))
-            elif experiment == "table2":
-                print(format_table2(evaluator.table2(names)))
-            elif experiment == "table3":
-                print(format_table3(evaluator.table3(names)))
-            elif experiment == "table4":
-                print(format_table4(evaluator.table4(names)))
-            elif experiment == "table5":
-                print(format_table5(evaluator.table5(names)))
+            payloads[experiment] = bench_io.collect_experiment(
+                evaluator, experiment, names
+            )
+            print(FORMATTERS[experiment](payloads[experiment]["data"]))
             print(f"[{experiment}: {time.time() - start:.1f}s]\n")
     finally:
         if session is not None:
             session.__exit__(None, None, None)
+
+    if not args.no_bench_json:
+        for experiment, payload in payloads.items():
+            path = bench_io.write_bench_json(
+                experiment, payload, args.bench_dir
+            )
+            print(f"wrote {path}")
+
+    if args.write_baseline:
+        bench_io.write_baseline(args.write_baseline, payloads)
+        print(f"wrote baseline {args.write_baseline}")
 
     if recorder is not None:
         if args.stats:
@@ -94,6 +191,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_json:
             write_trace(recorder, args.trace_json)
             print(f"wrote trace to {args.trace_json}")
+
+    if args.compare_baseline:
+        baseline = bench_io.load_baseline(args.compare_baseline)
+        regressions = bench_io.compare_to_baseline(
+            payloads,
+            baseline,
+            speedup_tolerance=args.speedup_tolerance,
+        )
+        print(bench_io.render_comparison(regressions))
+        if regressions:
+            return 1
     return 0
 
 

@@ -1,0 +1,293 @@
+"""Benchmark artifacts (``BENCH_*.json``) and baseline regression gating.
+
+Every evaluation run can leave a machine-readable trail: one
+``BENCH_<experiment>.json`` per experiment, carrying the headline numbers
+(speedups / IIs), the per-loop II / ResMII / RecMII breakdown, and the
+compile-effort telemetry (wall ms, KL probe counts, scheduler attempts).
+A checked-in ``benchmarks/baseline.json`` — the same payloads, combined —
+turns any later run into a regression gate: ``compare_to_baseline``
+reports every loop whose II got worse and every benchmark whose speedup
+dropped beyond tolerance, and the ``--compare-baseline`` CLI mode exits
+nonzero when the list is non-empty.
+
+Wall-clock telemetry is recorded in the artifacts but never gated on:
+the corpus and the compiler are deterministic, machine speed is not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.evaluation.experiments import Evaluator, figure1_iis
+from repro.workloads.spec import BENCHMARK_NAMES
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Experiments with comparable headline metrics (everything the CLI runs).
+EXPERIMENTS = ("figure1", "table2", "table3", "table4", "table5")
+
+#: Relative drop in a speedup column that counts as a regression.
+DEFAULT_SPEEDUP_TOLERANCE = 0.02
+
+#: Absolute growth in a per-iteration II that counts as a regression
+#: (IIs are deterministic integers scaled by unroll factors — any real
+#: change exceeds this).
+DEFAULT_II_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that got worse than the baseline."""
+
+    experiment: str
+    metric: str
+    baseline: float
+    current: float
+
+    def render(self) -> str:
+        return (
+            f"[{self.experiment}] {self.metric}: baseline {self.baseline:g} "
+            f"-> current {self.current:g}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Collection
+
+
+def telemetry_payload(
+    evaluator: Evaluator, names: tuple[str, ...]
+) -> dict[str, dict[str, dict[str, float]]]:
+    return {
+        name: {
+            label: {
+                "loops": t.loops,
+                "wall_ms": round(t.wall_ms, 3),
+                "kl_iterations": t.kl_iterations,
+                "kl_probes": t.kl_probes,
+                "kl_bin_packs": t.kl_bin_packs,
+                "sched_attempts": t.sched_attempts,
+            }
+            for label, t in variants.items()
+        }
+        for name, variants in evaluator.telemetry_rows(names).items()
+    }
+
+
+def payload_for(
+    experiment: str,
+    data: object,
+    evaluator: Evaluator | None = None,
+    names: tuple[str, ...] = BENCHMARK_NAMES,
+) -> dict[str, object]:
+    """Assemble the artifact payload for an already-computed result.
+
+    ``figure1`` carries only its headline IIs; the tables additionally
+    ride the per-loop II breakdown and compile telemetry accumulated in
+    ``evaluator``.
+    """
+    payload: dict[str, object] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "experiment": experiment,
+        "data": data,
+    }
+    if experiment != "figure1" and evaluator is not None:
+        payload["loops"] = evaluator.loop_metric_rows(names)
+        payload["telemetry"] = telemetry_payload(evaluator, names)
+    return payload
+
+
+def collect_experiment(
+    evaluator: Evaluator,
+    experiment: str,
+    names: tuple[str, ...] = BENCHMARK_NAMES,
+) -> dict[str, object]:
+    """Run one experiment and assemble its artifact payload."""
+    if experiment == "figure1":
+        data: object = figure1_iis()
+    elif experiment == "table2":
+        data = evaluator.table2(names)
+    elif experiment == "table3":
+        data = evaluator.table3(names)
+    elif experiment == "table4":
+        data = evaluator.table4(names)
+    elif experiment == "table5":
+        data = evaluator.table5(names)
+    else:
+        raise ValueError(f"unknown experiment {experiment!r}")
+    return payload_for(experiment, data, evaluator, names)
+
+
+def collect(
+    evaluator: Evaluator,
+    experiments: tuple[str, ...] = EXPERIMENTS,
+    names: tuple[str, ...] = BENCHMARK_NAMES,
+) -> dict[str, dict[str, object]]:
+    return {
+        experiment: collect_experiment(evaluator, experiment, names)
+        for experiment in experiments
+    }
+
+
+# ----------------------------------------------------------------------
+# Artifact files
+
+
+def artifact_name(experiment: str) -> str:
+    return f"BENCH_{experiment}.json"
+
+
+def write_bench_json(
+    experiment: str, payload: dict[str, object], directory: str = "."
+) -> str:
+    """Write one ``BENCH_<experiment>.json`` artifact; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, artifact_name(experiment))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def write_baseline(
+    path: str, payloads: dict[str, dict[str, object]]
+) -> str:
+    """Combine experiment payloads into one baseline file."""
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "experiments": payloads,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> dict[str, dict[str, object]]:
+    with open(path, encoding="utf-8") as f:
+        document = json.load(f)
+    if document.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema_version "
+            f"{document.get('schema_version')!r}, expected "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    return document["experiments"]
+
+
+# ----------------------------------------------------------------------
+# Comparison
+
+
+def _walk_numeric(tree: object, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts to ``dotted.path -> number`` leaves."""
+    leaves: dict[str, float] = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(_walk_numeric(value, path))
+    elif isinstance(tree, bool):
+        pass
+    elif isinstance(tree, (int, float)):
+        leaves[prefix] = float(tree)
+    return leaves
+
+
+def _gate_lower_is_better(
+    experiment: str,
+    metric_prefix: str,
+    current: object,
+    baseline: object,
+    tolerance: float,
+) -> list[Regression]:
+    cur, base = _walk_numeric(current), _walk_numeric(baseline)
+    return [
+        Regression(experiment, f"{metric_prefix}{path}", base[path], cur[path])
+        for path in sorted(base)
+        if path in cur and cur[path] > base[path] + tolerance
+    ]
+
+
+def _gate_higher_is_better(
+    experiment: str,
+    metric_prefix: str,
+    current: object,
+    baseline: object,
+    tolerance: float,
+) -> list[Regression]:
+    cur, base = _walk_numeric(current), _walk_numeric(baseline)
+    return [
+        Regression(experiment, f"{metric_prefix}{path}", base[path], cur[path])
+        for path in sorted(base)
+        if path in cur and cur[path] < base[path] * (1.0 - tolerance)
+    ]
+
+
+def compare_to_baseline(
+    payloads: dict[str, dict[str, object]],
+    baseline: dict[str, dict[str, object]],
+    speedup_tolerance: float = DEFAULT_SPEEDUP_TOLERANCE,
+    ii_tolerance: float = DEFAULT_II_TOLERANCE,
+) -> list[Regression]:
+    """Regressions of ``payloads`` against ``baseline``.
+
+    Gated metrics: per-loop final II (lower is better, absolute
+    tolerance), figure1 IIs (lower is better), and table speedups (higher
+    is better, relative tolerance).  Only experiments present on both
+    sides are compared; table3 outcome counts and all telemetry are
+    informational.
+    """
+    regressions: list[Regression] = []
+    for experiment, base_payload in baseline.items():
+        payload = payloads.get(experiment)
+        if payload is None:
+            continue
+        if experiment == "figure1":
+            regressions += _gate_lower_is_better(
+                experiment,
+                "ii.",
+                payload["data"],
+                base_payload["data"],
+                ii_tolerance,
+            )
+            continue
+        if experiment in ("table2", "table4", "table5"):
+            regressions += _gate_higher_is_better(
+                experiment,
+                "speedup.",
+                payload["data"],
+                base_payload["data"],
+                speedup_tolerance,
+            )
+        base_loops = {
+            path: value
+            for path, value in _walk_numeric(
+                base_payload.get("loops", {})
+            ).items()
+            if path.endswith(".ii")
+        }
+        cur_loops = _walk_numeric(payload.get("loops", {}))
+        regressions += [
+            Regression(experiment, f"loop.{path}", base_loops[path], cur_loops[path])
+            for path in sorted(base_loops)
+            if path in cur_loops
+            and cur_loops[path] > base_loops[path] + ii_tolerance
+        ]
+    # A metric may be reachable through several experiments (per-loop IIs
+    # ride along with every table); report each offender once.
+    unique: dict[str, Regression] = {}
+    for r in regressions:
+        unique.setdefault(f"{r.metric}", r)
+    return list(unique.values())
+
+
+def render_comparison(regressions: list[Regression]) -> str:
+    if not regressions:
+        return "baseline comparison: OK (no II or speedup regressions)"
+    lines = [
+        f"baseline comparison: {len(regressions)} regression(s) detected"
+    ]
+    lines += [f"  {r.render()}" for r in regressions]
+    return "\n".join(lines)

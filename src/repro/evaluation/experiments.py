@@ -160,6 +160,28 @@ class Evaluator:
             self._compiled[key] = loops
         return self._compiled[key]
 
+    def loop_metric_rows(
+        self, names: tuple[str, ...] = BENCHMARK_NAMES
+    ) -> dict[str, dict[str, dict[str, dict[str, float]]]]:
+        """Per-loop II/ResMII/RecMII (per original iteration) for every
+        (benchmark, variant) compiled so far:
+        ``{benchmark: {loop: {variant: {ii, res_mii, rec_mii}}}}`` —
+        the payload of the ``BENCH_*.json`` artifacts."""
+        rows: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
+        for (name, label), loops in sorted(self._compiled.items()):
+            if name not in names:
+                continue
+            bench = self.benchmark(name)
+            for wl, compiled in zip(bench.loops, loops):
+                rows.setdefault(name, {}).setdefault(wl.loop.name, {})[
+                    label
+                ] = {
+                    "ii": compiled.ii_per_iteration(),
+                    "res_mii": compiled.res_mii_per_iteration(),
+                    "rec_mii": compiled.rec_mii_per_iteration(),
+                }
+        return rows
+
     def telemetry_rows(
         self, names: tuple[str, ...] = BENCHMARK_NAMES
     ) -> dict[str, dict[str, CompileTelemetry]]:

@@ -73,6 +73,10 @@ class Loop:
     # runtime parameters).  Dependence analysis still treats symbols as
     # unknown — these are interpreter/simulator defaults only.
     symbols: dict[str, int] = field(default_factory=dict)
+    # Expected dynamic trip count, when known (workload profiles, CLI
+    # --trip).  Purely informational — compilation never depends on it —
+    # but it makes printed dumps self-contained.
+    trip_count: int | None = None
 
     def defined_registers(self) -> set[VirtualRegister]:
         defs = {op.dest for op in self.body if op.dest is not None}

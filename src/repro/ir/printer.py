@@ -6,7 +6,8 @@ from repro.ir.loop import Loop
 
 
 def format_loop(loop: Loop) -> str:
-    lines = [f"loop {loop.name} (i += {loop.increment}):"]
+    trip = str(loop.trip_count) if loop.trip_count is not None else "symbolic"
+    lines = [f"loop {loop.name} (i += {loop.increment}, trip {trip}):"]
     for info in loop.arrays.values():
         dims = "x".join(str(d) for d in info.dim_sizes)
         extra = (
@@ -14,7 +15,10 @@ def format_loop(loop: Loop) -> str:
         )
         lines.append(f"  array {info.name}: {info.dtype}[{dims}]{extra}")
     for c in loop.carried:
-        lines.append(f"  carried {c.entry} = {c.init}; next <- {c.exit}")
+        lines.append(
+            f"  carried {c.entry}: {c.entry.type} = {c.init}; "
+            f"next <- {c.exit}"
+        )
     if loop.preheader:
         lines.append("  preheader:")
         for op in loop.preheader:

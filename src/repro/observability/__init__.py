@@ -16,10 +16,11 @@ Typical library use::
     print(render_stats_table(rec))
 """
 
-from repro.observability.events import Event, EventLog
+from repro.observability.events import Event, EventLog, Remark
 from repro.observability.export import (
     TRACE_SCHEMA_VERSION,
     recorder_to_dict,
+    render_remarks,
     render_stats_table,
     write_trace,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "Event",
     "EventLog",
     "Recorder",
+    "Remark",
     "Span",
     "SpanTracer",
     "StatRegistry",
@@ -47,6 +49,7 @@ __all__ = [
     "maybe_span",
     "recorder_to_dict",
     "recording",
+    "render_remarks",
     "render_stats_table",
     "write_trace",
 ]

@@ -30,7 +30,7 @@ def jsonify(value: object) -> object:
 
 @dataclass
 class Event:
-    """One structured remark."""
+    """One structured decision-point record."""
 
     seq: int
     name: str
@@ -46,19 +46,85 @@ class Event:
         }
 
 
+@dataclass
+class Remark:
+    """One optimization remark — the ``-Rpass`` analogue.
+
+    Remarks are the explainability layer on top of events: each one ties
+    a *decision* (``pass_name`` + machine-readable ``reason`` code) to the
+    loop it was made for and a human-readable one-line ``message``, with
+    the structured evidence in ``data``.  Reason codes are catalogued in
+    ``docs/observability.md``.
+    """
+
+    seq: int
+    pass_name: str
+    loop: str
+    reason: str
+    message: str
+    phase: str
+    data: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "pass": self.pass_name,
+            "loop": self.loop,
+            "reason": self.reason,
+            "message": self.message,
+            "phase": self.phase,
+            "data": jsonify(self.data),
+        }
+
+    def render(self) -> str:
+        return f"[{self.pass_name}:{self.reason}] {self.loop}: {self.message}"
+
+
 class EventLog:
-    """Append-only event list for one recording session."""
+    """Append-only event and remark lists for one recording session."""
 
     def __init__(self) -> None:
         self.events: list[Event] = []
+        self.remarks: list[Remark] = []
 
     def emit(self, name: str, phase: str, data: dict[str, object]) -> Event:
         event = Event(seq=len(self.events), name=name, phase=phase, data=data)
         self.events.append(event)
         return event
 
+    def remark(
+        self,
+        pass_name: str,
+        loop: str,
+        reason: str,
+        message: str,
+        phase: str,
+        data: dict[str, object],
+    ) -> Remark:
+        record = Remark(
+            seq=len(self.remarks),
+            pass_name=pass_name,
+            loop=loop,
+            reason=reason,
+            message=message,
+            phase=phase,
+            data=data,
+        )
+        self.remarks.append(record)
+        return record
+
     def by_name(self, name: str) -> list[Event]:
         return [e for e in self.events if e.name == name]
+
+    def remarks_for(
+        self, loop: str | None = None, pass_name: str | None = None
+    ) -> list[Remark]:
+        return [
+            r
+            for r in self.remarks
+            if (loop is None or r.loop == loop)
+            and (pass_name is None or r.pass_name == pass_name)
+        ]
 
     def counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -68,9 +134,13 @@ class EventLog:
 
     def reset(self) -> None:
         self.events.clear()
+        self.remarks.clear()
 
     def __len__(self) -> int:
         return len(self.events)
 
     def to_dict(self) -> list[dict[str, object]]:
         return [e.to_dict() for e in self.events]
+
+    def remarks_to_dict(self) -> list[dict[str, object]]:
+        return [r.to_dict() for r in self.remarks]

@@ -15,7 +15,7 @@ import json
 from repro.observability.events import jsonify
 from repro.observability.recorder import Recorder
 
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
 
 
 def recorder_to_dict(recorder: Recorder) -> dict[str, object]:
@@ -28,6 +28,7 @@ def recorder_to_dict(recorder: Recorder) -> dict[str, object]:
         "counters": stats["counters"],
         "distributions": stats["distributions"],
         "events": [jsonify(e) for e in recorder.events.to_dict()],
+        "remarks": [jsonify(r) for r in recorder.events.remarks_to_dict()],
     }
 
 
@@ -49,6 +50,28 @@ def _rows_to_table(headers: list[str], rows: list[list[str]]) -> list[str]:
     lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
     lines += [fmt.format(*row) for row in rows]
     return lines
+
+
+def render_remarks(
+    recorder: Recorder,
+    loop: str | None = None,
+    pass_name: str | None = None,
+) -> str:
+    """The optimization remarks of one session, one line per remark,
+    grouped by loop (what ``--explain`` prints)."""
+    remarks = recorder.events.remarks_for(loop=loop, pass_name=pass_name)
+    if not remarks:
+        return "(no remarks recorded)"
+    lines: list[str] = []
+    current: str | None = None
+    for r in remarks:
+        if r.loop != current:
+            if current is not None:
+                lines.append("")
+            lines.append(f"remarks for loop {r.loop}:")
+            current = r.loop
+        lines.append(f"  {r.render()}")
+    return "\n".join(lines)
 
 
 def render_stats_table(recorder: Recorder) -> str:

@@ -77,6 +77,19 @@ class Recorder:
     def event(self, name: str, **data: object):
         return self.events.emit(name, self.tracer.path(), data)
 
+    def remark(
+        self,
+        pass_name: str,
+        loop: str,
+        reason: str,
+        message: str,
+        **data: object,
+    ):
+        """One optimization remark: why a pass decided what it decided."""
+        return self.events.remark(
+            pass_name, loop, reason, message, self.tracer.path(), data
+        )
+
     # ------------------------------------------------------------------
 
     def reset(self) -> None:

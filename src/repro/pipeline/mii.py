@@ -1,4 +1,4 @@
-"""Minimum initiation interval bounds.
+"""Minimum initiation interval bounds, with provenance.
 
 ``ResMII`` — the resource-constrained bound — is computed by the same
 greedy bin-packing the partitioner uses (each operation binned once with
@@ -6,6 +6,15 @@ its actual opcode).  ``RecMII`` — the recurrence-constrained bound — is
 the smallest II admitting no positive-weight dependence cycle under edge
 weights ``delay(e) - II * distance(e)``, found by binary search with
 Bellman-Ford positive-cycle detection.
+
+Both bounds come back as :class:`int` subclasses that additionally carry
+*why* the bound is what it is: :class:`ResMII` holds the per-resource
+pressure table and the bottleneck resource instance; :class:`RecMII`
+holds the critical recurrence cycle (the dependence edges whose
+delay/distance ratio pins the bound), extracted by predecessor tracking
+in the Bellman-Ford relaxation.  Existing arithmetic/comparison callers
+are unaffected — the provenance rides along for the remark emitters and
+the ``--explain`` renderers.
 """
 
 from __future__ import annotations
@@ -14,6 +23,99 @@ from repro.dependence.graph import DepEdge, DependenceGraph, DepKind
 from repro.ir.loop import Loop
 from repro.machine.machine import MachineDescription
 from repro.vectorize.bins import Bins, placement_freedom
+
+
+class DependenceCycleError(RuntimeError):
+    """The dependence graph has a zero-distance cycle: the loop body
+    requires an operation to precede itself within one iteration, so no
+    initiation interval is feasible.  ``cycle`` names the operations on
+    the offending cycle in dependence order."""
+
+    def __init__(self, graph: DependenceGraph, cycle_edges: list[DepEdge]):
+        self.cycle_edges = tuple(cycle_edges)
+        self.cycle = tuple(e.src for e in cycle_edges)
+        ops = " -> ".join(
+            f"{uid}:{graph.ops[uid].mnemonic()}" for uid in self.cycle
+        )
+        closing = f" -> {self.cycle[0]}:{graph.ops[self.cycle[0]].mnemonic()}"
+        super().__init__(
+            "dependence graph has a zero-distance cycle through "
+            f"{ops}{closing if self.cycle else ''}"
+        )
+
+
+class ResMII(int):
+    """Resource-constrained bound plus its provenance.
+
+    ``pressure`` maps each resource instance to its packed busy cycles
+    (per VL original iterations on an untransformed loop); ``bottleneck``
+    is the instance whose pressure equals the bound, or ``None`` when the
+    loop exerts no resource pressure at all.
+    """
+
+    pressure: dict[str, int]
+    bottleneck: str | None
+
+    def __new__(
+        cls,
+        value: int,
+        pressure: dict[str, int] | None = None,
+        bottleneck: str | None = None,
+    ) -> "ResMII":
+        self = super().__new__(cls, value)
+        self.pressure = dict(pressure or {})
+        self.bottleneck = bottleneck
+        return self
+
+    def pressure_rows(self) -> list[tuple[str, int]]:
+        """Pressure table sorted most-loaded-first (render order)."""
+        return sorted(self.pressure.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+class RecMII(int):
+    """Recurrence-constrained bound plus its critical cycle.
+
+    ``cycle`` lists the operation uids on a recurrence whose
+    ``ceil(delay / distance)`` equals the bound (empty when no recurrence
+    constrains the loop); ``cycle_edges`` are the dependence edges walked,
+    and ``cycle_delay`` / ``cycle_distance`` their totals.
+    """
+
+    cycle: tuple[int, ...]
+    cycle_edges: tuple[DepEdge, ...]
+    cycle_delay: int
+    cycle_distance: int
+
+    def __new__(
+        cls,
+        value: int,
+        cycle_edges: tuple[DepEdge, ...] | list[DepEdge] = (),
+        cycle_delay: int = 0,
+        cycle_distance: int = 0,
+    ) -> "RecMII":
+        self = super().__new__(cls, value)
+        self.cycle_edges = tuple(cycle_edges)
+        self.cycle = tuple(e.src for e in self.cycle_edges)
+        self.cycle_delay = cycle_delay
+        self.cycle_distance = cycle_distance
+        return self
+
+    def describe_cycle(self, ops=None) -> str:
+        """``uid:mnemonic -> ...`` walk of the critical cycle.  ``ops``
+        may be a :class:`DependenceGraph` or a ``{uid: Operation}`` map;
+        without it the walk shows bare uids."""
+        if not self.cycle:
+            return "(no recurrence)"
+        if ops is not None and hasattr(ops, "ops"):
+            ops = ops.ops
+
+        def tag(uid: int) -> str:
+            if ops is not None and uid in ops:
+                return f"{uid}:{ops[uid].mnemonic()}"
+            return str(uid)
+
+        walk = " -> ".join(tag(uid) for uid in self.cycle)
+        return f"{walk} -> {tag(self.cycle[0])}"
 
 
 def edge_delay(
@@ -32,7 +134,7 @@ def edge_delay(
     return 1
 
 
-def res_mii(loop: Loop, machine: MachineDescription) -> int:
+def res_mii(loop: Loop, machine: MachineDescription) -> ResMII:
     """Resource-constrained minimum II of a (transformed) loop body."""
     bins = Bins(machine)
     ordered = sorted(
@@ -41,52 +143,108 @@ def res_mii(loop: Loop, machine: MachineDescription) -> int:
     )
     for op in ordered:
         bins.reserve_least_used(machine.opcode_info(op), ("op", op.uid))
-    return max(1, bins.high_water_mark())
+    high = bins.high_water_mark()
+    bottleneck = None
+    if high > 0:
+        bottleneck = min(
+            (inst for inst, w in bins.weights.items() if w == high),
+        )
+    return ResMII(max(1, high), pressure=bins.weights, bottleneck=bottleneck)
+
+
+def _relax(
+    graph: DependenceGraph, machine: MachineDescription, ii: int
+) -> tuple[dict[int, DepEdge], int | None]:
+    """Bellman-Ford longest-path relaxation under weights
+    ``delay - ii*distance`` with predecessor tracking.  Returns the
+    predecessor-edge map and a node that still relaxed on the |V|-th
+    round (``None`` when no positive cycle exists)."""
+    nodes = graph.node_ids()
+    dist = {n: 0 for n in nodes}
+    pred: dict[int, DepEdge] = {}
+    weights = [
+        (e, edge_delay(e, graph, machine) - ii * e.distance)
+        for e in graph.edges
+    ]
+    witness: int | None = None
+    for _ in range(len(nodes)):
+        changed = False
+        for e, w in weights:
+            if dist[e.src] + w > dist[e.dst]:
+                dist[e.dst] = dist[e.src] + w
+                pred[e.dst] = e
+                changed = True
+                witness = e.dst
+        if not changed:
+            return pred, None
+    return pred, witness
 
 
 def _has_positive_cycle(
     graph: DependenceGraph, machine: MachineDescription, ii: int
 ) -> bool:
-    """Bellman-Ford longest-path relaxation: does any cycle have positive
-    total weight ``delay - ii*distance``?"""
-    nodes = graph.node_ids()
-    dist = {n: 0 for n in nodes}
-    weights = [
-        (e.src, e.dst, edge_delay(e, graph, machine) - ii * e.distance)
-        for e in graph.edges
-    ]
-    for _ in range(len(nodes)):
-        changed = False
-        for src, dst, w in weights:
-            if dist[src] + w > dist[dst]:
-                dist[dst] = dist[src] + w
-                changed = True
-        if not changed:
-            return False
-    return True
+    """Does any cycle have positive total weight ``delay - ii*distance``?"""
+    _, witness = _relax(graph, machine, ii)
+    return witness is not None
 
 
-def rec_mii(graph: DependenceGraph, machine: MachineDescription) -> int:
-    """Recurrence-constrained minimum II."""
+def _extract_positive_cycle(
+    graph: DependenceGraph, machine: MachineDescription, ii: int
+) -> list[DepEdge]:
+    """The edges of one positive-weight cycle at ``ii`` (empty when no
+    such cycle exists).  The witness of the final relaxation round is
+    walked back |V| predecessor steps to land inside the cycle, then the
+    cycle is collected."""
+    pred, witness = _relax(graph, machine, ii)
+    if witness is None:
+        return []
+    node = witness
+    for _ in range(len(graph.ops)):
+        node = pred[node].src
+    cycle: list[DepEdge] = []
+    cur = node
+    for _ in range(len(graph.ops) + 1):
+        edge = pred[cur]
+        cycle.append(edge)
+        cur = edge.src
+        if cur == node:
+            break
+    cycle.reverse()
+    return cycle
+
+
+def rec_mii(graph: DependenceGraph, machine: MachineDescription) -> RecMII:
+    """Recurrence-constrained minimum II, carrying the critical cycle."""
     if not graph.edges:
-        return 1
-    lo, hi = 1, 1
+        return RecMII(1)
     max_delay = max(edge_delay(e, graph, machine) for e in graph.edges)
     hi = max(1, max_delay * len(graph.ops))
     if _has_positive_cycle(graph, machine, hi):
-        raise RuntimeError("dependence graph has a zero-distance cycle")
+        # A cycle positive at an II exceeding any delay/distance ratio can
+        # only carry zero total distance: the loop body cycles on itself.
+        raise DependenceCycleError(
+            graph, _extract_positive_cycle(graph, machine, hi)
+        )
+    lo = 1
     while lo < hi:
         mid = (lo + hi) // 2
         if _has_positive_cycle(graph, machine, mid):
             lo = mid + 1
         else:
             hi = mid
-    return lo
+    if lo <= 1:
+        return RecMII(1)
+    # A cycle still positive one II below the bound achieves exactly
+    # ceil(delay/distance) == lo: the critical recurrence.
+    cycle = _extract_positive_cycle(graph, machine, lo - 1)
+    delay = sum(edge_delay(e, graph, machine) for e in cycle)
+    distance = sum(e.distance for e in cycle)
+    return RecMII(lo, cycle, delay, distance)
 
 
 def minimum_ii(
     loop: Loop, graph: DependenceGraph, machine: MachineDescription
-) -> tuple[int, int, int]:
+) -> tuple[int, ResMII, RecMII]:
     """(MII, ResMII, RecMII)."""
     res = res_mii(loop, machine)
     rec = rec_mii(graph, machine)

@@ -11,9 +11,13 @@ them so eviction can release exactly what an operation held.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.ir.operations import Operation
 from repro.machine.machine import MachineDescription
+
+if TYPE_CHECKING:  # avoid the scheduler <-> reservation import cycle
+    from repro.pipeline.scheduler import ModuloSchedule
 
 
 @dataclass
@@ -96,3 +100,62 @@ class ModuloReservationTable:
         for cell in self.held.pop(uid, []):
             if self.table.get(cell) == uid:
                 del self.table[cell]
+
+
+# ----------------------------------------------------------------------
+# ASCII rendering (the --explain kernel visualizer)
+
+
+def render_reservation_table(schedule: "ModuloSchedule") -> str:
+    """Draw the steady-state kernel as a modulo reservation table: one row
+    per resource instance, one column per kernel cycle, each occupied cell
+    naming the holding operation (``mnemonic.uid``).  The ResMII
+    bottleneck resource, when known, is marked ``*``.
+
+    The table is reconstructed by replaying the schedule's placements in
+    issue order — the same replay ``_check_schedule`` validates — so what
+    is drawn is a feasible instance binding of the final kernel.
+    """
+    machine = schedule.machine
+    ii = schedule.ii
+    mrt = ModuloReservationTable(machine, ii)
+    for op in sorted(schedule.loop.body, key=lambda o: schedule.times[o.uid]):
+        mrt.place(op, schedule.times[op.uid])
+    by_uid = {op.uid: op for op in schedule.loop.body}
+
+    def label(uid: int) -> str:
+        return f"{by_uid[uid].mnemonic()}.{uid}"
+
+    bottleneck = getattr(schedule.res_mii, "bottleneck", None)
+    instances = [
+        inst for rc in machine.resources for inst in rc.instances()
+    ]
+    grid = {
+        inst: [
+            label(mrt.table[(inst, row)]) if (inst, row) in mrt.table else "."
+            for row in range(ii)
+        ]
+        for inst in instances
+    }
+    name_w = max(len(inst) + 2 for inst in instances)
+    col_w = max(
+        [len(c) for cells in grid.values() for c in cells] + [len(str(ii - 1)) + 2]
+    )
+    lines = [
+        f"reservation table of {schedule.loop.name}: II={ii}, "
+        f"{schedule.stage_count} stages "
+        f"(ResMII {int(schedule.res_mii)}, RecMII {int(schedule.rec_mii)})"
+    ]
+    header = " " * name_w + " ".join(
+        f"c{row}".rjust(col_w) for row in range(ii)
+    )
+    lines.append(header)
+    for inst in instances:
+        mark = "*" if inst == bottleneck else " "
+        row = f"{mark}{inst}".ljust(name_w) + " ".join(
+            cell.rjust(col_w) for cell in grid[inst]
+        )
+        lines.append(row)
+    if bottleneck is not None:
+        lines.append(f"  (* = ResMII bottleneck resource: {bottleneck})")
+    return "\n".join(lines)

@@ -20,7 +20,7 @@ from repro.ir.loop import Loop
 from repro.ir.operations import Operation
 from repro.machine.machine import MachineDescription
 from repro.observability.recorder import Recorder, active_recorder, maybe_span
-from repro.pipeline.mii import edge_delay, minimum_ii
+from repro.pipeline.mii import RecMII, ResMII, edge_delay, minimum_ii
 from repro.pipeline.reservation import ModuloReservationTable
 
 
@@ -236,6 +236,9 @@ def modulo_schedule(
         budget = max(budget_ratio * len(loop.body), 40)
         max_ii = max(start * max_ii_factor, start + 32)
 
+        if recorder is not None:
+            _remark_mii_bound(recorder, loop, graph, res, rec, start, min_ii)
+
         attempts = 0
         for ii in range(start, max_ii + 1):
             for variant in (None, 1, 2, 3):
@@ -243,6 +246,20 @@ def modulo_schedule(
                 times = _try_schedule(
                     loop, graph, machine, ii, budget, variant, recorder
                 )
+                if times is None and variant == 3 and recorder is not None:
+                    # All restart variants failed at this II: record what
+                    # blocked it (at the bound it is the bound itself;
+                    # above it, the placement budget).
+                    recorder.remark(
+                        "scheduler",
+                        loop.name,
+                        "ii-rejected",
+                        f"II={ii} infeasible within placement budget "
+                        f"{budget} (4 restart variants)",
+                        ii=ii,
+                        budget=budget,
+                        at_bound=ii == mii,
+                    )
                 if times is not None:
                     _check_schedule(loop, graph, machine, ii, times)
                     if recorder is not None:
@@ -253,6 +270,25 @@ def modulo_schedule(
                             "sched.scheduled",
                             loop=loop.name,
                             ii=ii,
+                            res_mii=res,
+                            rec_mii=rec,
+                            attempts=attempts,
+                            variant=variant,
+                        )
+                        slack = ii - mii
+                        recorder.remark(
+                            "scheduler",
+                            loop.name,
+                            "scheduled",
+                            f"II={ii} achieved"
+                            + (
+                                " at the MII bound"
+                                if slack == 0
+                                else f", {slack} above MII={mii}"
+                            )
+                            + f" ({attempts} attempts)",
+                            ii=ii,
+                            mii=mii,
                             res_mii=res,
                             rec_mii=rec,
                             attempts=attempts,
@@ -278,6 +314,61 @@ def modulo_schedule(
             )
         raise SchedulingError(
             f"no schedule for {loop.name!r} with II in [{start}, {max_ii}]"
+        )
+
+
+def _remark_mii_bound(
+    recorder: Recorder,
+    loop: Loop,
+    graph: DependenceGraph,
+    res: ResMII,
+    rec: RecMII,
+    start: int,
+    min_ii: int | None,
+) -> None:
+    """Remark on which bound pins the starting II: the bottleneck resource
+    (ResMII), the critical recurrence cycle (RecMII), or an external floor
+    (register-pressure retry)."""
+    if min_ii is not None and start == min_ii and min_ii > max(res, rec):
+        recorder.remark(
+            "scheduler",
+            loop.name,
+            "external-floor",
+            f"II search starts at {start}, imposed by the caller "
+            f"(register-pressure retry), above MII={max(res, rec)}",
+            start=start,
+            res_mii=int(res),
+            rec_mii=int(rec),
+        )
+        return
+    data = {
+        "res_mii": int(res),
+        "rec_mii": int(rec),
+        "bottleneck": res.bottleneck,
+        "pressure": dict(res.pressure),
+        "cycle": list(rec.cycle),
+        "cycle_delay": rec.cycle_delay,
+        "cycle_distance": rec.cycle_distance,
+    }
+    if res >= rec:
+        recorder.remark(
+            "scheduler",
+            loop.name,
+            "res-bound",
+            f"MII={max(res, rec)} is resource-bound: {res.bottleneck} "
+            f"carries {res.pressure.get(res.bottleneck, 0)} busy cycles "
+            f"(RecMII={int(rec)})",
+            **data,
+        )
+    else:
+        recorder.remark(
+            "scheduler",
+            loop.name,
+            "rec-bound",
+            f"MII={int(rec)} is recurrence-bound: cycle "
+            f"{rec.describe_cycle(graph)} carries delay {rec.cycle_delay} "
+            f"over distance {rec.cycle_distance} (ResMII={int(res)})",
+            **data,
         )
 
 

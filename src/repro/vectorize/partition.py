@@ -22,7 +22,7 @@ performed only after an operation is finally chosen.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.dependence.analysis import LoopDependence
 from repro.ir.operations import Operation, OpKind
@@ -223,6 +223,16 @@ def partition_operations(
 
         candidates = [op for op in body if dep.is_vectorizable(op)]
         if not candidates or not machine.supports_vectors:
+            if rec is not None:
+                rec.remark(
+                    "partition",
+                    dep.loop.name,
+                    "all-scalar",
+                    "no vectorizable operations"
+                    if not candidates
+                    else "machine has no vector units",
+                    cost=scalar_cost,
+                )
             return PartitionResult(
                 assignment=assignment,
                 cost=scalar_cost,
@@ -302,4 +312,96 @@ def partition_operations(
                 vectorized=len(result.vectorized),
                 candidates=len(candidates),
             )
+            _emit_placement_remarks(rec, dep, machine, config, model, result)
         return result
+
+
+def _emit_placement_remarks(
+    rec,
+    dep: LoopDependence,
+    machine: MachineDescription,
+    config: PartitionConfig,
+    model: PartitionCostModel,
+    result: PartitionResult,
+) -> None:
+    """One remark per operation explaining its scalar/vector placement.
+
+    For a vectorizable operation left scalar, the reason code attributes
+    the loss to the cost-model component that made vector placement
+    unprofitable: re-probing the flip with the communication (then
+    alignment) term blinded identifies which overhead tipped the balance;
+    if the flip loses even with both blinded, the vector resources
+    themselves are the bottleneck.
+    """
+    bins = model.bin_pack(result.assignment)
+    assignment = dict(result.assignment)
+    blind_comm = PartitionCostModel(
+        dep, machine, replace(config, account_communication=False)
+    )
+    blind_align = PartitionCostModel(
+        dep, machine, replace(config, account_alignment=False)
+    )
+    for op in dep.loop.body:
+        side = result.assignment[op.uid]
+        placement = "vector" if side is Side.VECTOR else "scalar"
+        if not dep.is_vectorizable(op):
+            rec.remark(
+                "partition",
+                dep.loop.name,
+                "not-vectorizable",
+                f"op {op.uid} ({op.mnemonic()}) is scalar: dependence "
+                "analysis rules out vectorization",
+                op=op.uid,
+                placement="scalar",
+            )
+            continue
+        flip = model.probe_cost(bins, assignment, op)
+        delta = flip - result.cost
+        if side is Side.VECTOR:
+            rec.remark(
+                "partition",
+                dep.loop.name,
+                "vector-profitable",
+                f"op {op.uid} ({op.mnemonic()}) is vector: moving it back "
+                f"to the scalar units would cost {flip} vs {result.cost}",
+                op=op.uid,
+                placement="vector",
+                flip_cost=flip,
+                cost=result.cost,
+            )
+            continue
+        if delta <= 0:
+            reason, why = "no-benefit", "gains nothing"
+        elif (
+            config.account_communication
+            and blind_comm.probe_cost(bins, assignment, op) <= result.cost
+        ):
+            reason, why = (
+                "communication-cost",
+                "loses to the scalar<->vector transfers it would add",
+            )
+        elif (
+            config.account_alignment
+            and op.kind.is_memory
+            and blind_align.probe_cost(bins, assignment, op) <= result.cost
+        ):
+            reason, why = (
+                "alignment-merge",
+                "loses to the realignment merges it would add",
+            )
+        else:
+            reason, why = (
+                "resource-pressure",
+                "loses on vector-unit pressure",
+            )
+        rec.remark(
+            "partition",
+            dep.loop.name,
+            reason,
+            f"op {op.uid} ({op.mnemonic()}) stays scalar: vectorizing it "
+            f"{why} (cost {result.cost} -> {flip})",
+            op=op.uid,
+            placement=placement,
+            flip_cost=flip,
+            cost=result.cost,
+        )

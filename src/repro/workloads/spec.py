@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 
 from repro.ir.loop import Loop
 from repro.workloads.generator import GENERATORS, generate
@@ -260,6 +261,7 @@ def build_benchmark(name: str) -> Benchmark:
             loop = generate(archetype, loop_seed, f"{name}.L{index}")
             trip = rng.randint(*profile.trip_range)
             invocations = max(1, round(rng.randint(2, 12) * weight))
+            loop = dc_replace(loop, trip_count=trip)
             loops.append(WorkloadLoop(loop, archetype, trip, invocations))
             index += 1
     return Benchmark(name=name, loops=loops, serial_fraction=profile.serial_fraction)
