@@ -14,6 +14,14 @@ checked-in baseline and exits nonzero on II or speedup regressions;
 ``--write-baseline PATH`` refreshes that baseline.  ``--explain LOOP``
 prints the II provenance report for one workload loop instead of
 running experiments.
+
+Compile-time fast paths (results are identical either way): ``--jobs N``
+fans loop compilations out to a process pool, ``--compile-cache DIR``
+persists compiled loops across runs, and every run writes a
+``BENCH_compile_perf.json`` artifact recording wall clock, cache
+hits/misses, and the deterministic effort counters that
+``--gate-effort PATH`` checks against a baseline (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -129,6 +137,29 @@ def main(argv: list[str] | None = None) -> int:
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compile loops on a pool of N processes (default: serial, "
+        "or the REPRO_JOBS environment variable)",
+    )
+    parser.add_argument(
+        "--compile-cache",
+        metavar="DIR",
+        default=None,
+        help="persist compiled loops in DIR keyed by loop/machine/"
+        "strategy/compiler-version (default: off, or the "
+        "REPRO_COMPILE_CACHE environment variable)",
+    )
+    parser.add_argument(
+        "--gate-effort",
+        metavar="PATH",
+        help="compare deterministic compile-effort counters (KL probes, "
+        "bin-packs, scheduler attempts) against a baseline JSON; exit "
+        "nonzero if any counter grew",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print aggregate compile telemetry after the experiments",
@@ -161,8 +192,11 @@ def main(argv: list[str] | None = None) -> int:
     if session is not None:
         recorder = session.__enter__()
     payloads: dict[str, dict[str, object]] = {}
+    run_start = time.time()
     try:
-        evaluator = Evaluator()
+        evaluator = Evaluator(
+            jobs=args.jobs, compile_cache=args.compile_cache
+        )
         for experiment in experiments:
             start = time.time()
             payloads[experiment] = bench_io.collect_experiment(
@@ -174,12 +208,22 @@ def main(argv: list[str] | None = None) -> int:
         if session is not None:
             session.__exit__(None, None, None)
 
+    perf = bench_io.compile_perf_payload(
+        evaluator, names, wall_s=time.time() - run_start
+    )
+    print(
+        "compile perf: {wall_s}s wall, jobs={jobs}, cache "
+        "{cache_hits} hit(s) / {cache_misses} miss(es)".format(**perf)
+    )
+
     if not args.no_bench_json:
         for experiment, payload in payloads.items():
             path = bench_io.write_bench_json(
                 experiment, payload, args.bench_dir
             )
             print(f"wrote {path}")
+        path = bench_io.write_bench_json("compile_perf", perf, args.bench_dir)
+        print(f"wrote {path}")
 
     if args.write_baseline:
         bench_io.write_baseline(args.write_baseline, payloads)
@@ -192,6 +236,7 @@ def main(argv: list[str] | None = None) -> int:
             write_trace(recorder, args.trace_json)
             print(f"wrote trace to {args.trace_json}")
 
+    failed = False
     if args.compare_baseline:
         baseline = bench_io.load_baseline(args.compare_baseline)
         regressions = bench_io.compare_to_baseline(
@@ -200,9 +245,13 @@ def main(argv: list[str] | None = None) -> int:
             speedup_tolerance=args.speedup_tolerance,
         )
         print(bench_io.render_comparison(regressions))
-        if regressions:
-            return 1
-    return 0
+        failed = failed or bool(regressions)
+    if args.gate_effort:
+        baseline = bench_io.load_baseline(args.gate_effort)
+        effort_regressions = bench_io.compare_effort(payloads, baseline)
+        print(bench_io.render_effort_comparison(effort_regressions))
+        failed = failed or bool(effort_regressions)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

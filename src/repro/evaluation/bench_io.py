@@ -57,6 +57,18 @@ class Regression:
 # Collection
 
 
+#: Deterministic compile-effort counters gated by ``--gate-effort``:
+#: pure functions of the corpus and the compiler, unlike wall clock.
+EFFORT_COUNTERS = (
+    "kl_iterations",
+    "kl_probes",
+    "kl_bin_packs",
+    "kl_repacks",
+    "kl_pack_steps",
+    "sched_attempts",
+)
+
+
 def telemetry_payload(
     evaluator: Evaluator, names: tuple[str, ...]
 ) -> dict[str, dict[str, dict[str, float]]]:
@@ -67,13 +79,54 @@ def telemetry_payload(
                 "wall_ms": round(t.wall_ms, 3),
                 "kl_iterations": t.kl_iterations,
                 "kl_probes": t.kl_probes,
+                "kl_probe_cache_hits": t.kl_probe_cache_hits,
                 "kl_bin_packs": t.kl_bin_packs,
+                "kl_repacks": t.kl_repacks,
+                "kl_pack_steps": t.kl_pack_steps,
                 "sched_attempts": t.sched_attempts,
+                "cache_hits": t.cache_hits,
+                "cache_misses": t.cache_misses,
             }
             for label, t in variants.items()
         }
         for name, variants in evaluator.telemetry_rows(names).items()
     }
+
+
+def compile_perf_payload(
+    evaluator: Evaluator,
+    names: tuple[str, ...] = BENCHMARK_NAMES,
+    wall_s: float | None = None,
+) -> dict[str, object]:
+    """The ``BENCH_compile_perf.json`` artifact: how much compile effort
+    this run spent and how it obtained the results (pool size, compile
+    cache hit/miss split, wall clock).  The ``effort`` block is
+    deterministic and comparable across machines; ``wall_s`` is not."""
+    telemetry = telemetry_payload(evaluator, names)
+    totals = {counter: 0 for counter in EFFORT_COUNTERS}
+    totals["kl_probe_cache_hits"] = 0
+    cache_hits = cache_misses = loops = 0
+    for variants in telemetry.values():
+        for row in variants.values():
+            for counter in totals:
+                totals[counter] += row[counter]
+            cache_hits += row["cache_hits"]
+            cache_misses += row["cache_misses"]
+            loops += row["loops"]
+    payload: dict[str, object] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "experiment": "compile_perf",
+        "jobs": evaluator.jobs,
+        "compile_cache": evaluator.compile_cache is not None,
+        "loops": loops,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "effort": totals,
+        "telemetry": telemetry,
+    }
+    if wall_s is not None:
+        payload["wall_s"] = round(wall_s, 3)
+    return payload
 
 
 def payload_for(
@@ -289,5 +342,57 @@ def render_comparison(regressions: list[Regression]) -> str:
     lines = [
         f"baseline comparison: {len(regressions)} regression(s) detected"
     ]
+    lines += [f"  {r.render()}" for r in regressions]
+    return "\n".join(lines)
+
+
+def compare_effort(
+    payloads: dict[str, dict[str, object]],
+    baseline: dict[str, dict[str, object]],
+) -> list[Regression]:
+    """Compile-*effort* regressions against the baseline.
+
+    Every deterministic counter in :data:`EFFORT_COUNTERS` must not grow
+    for any (benchmark, variant) batch: the compiler and the corpus are
+    pure, so a counter increase means the search genuinely got more
+    expensive — unlike wall clock, which this gate deliberately ignores.
+    """
+    regressions: list[Regression] = []
+    for experiment, base_payload in baseline.items():
+        payload = payloads.get(experiment)
+        if payload is None:
+            continue
+        base_tel = base_payload.get("telemetry")
+        cur_tel = payload.get("telemetry")
+        if not isinstance(base_tel, dict) or not isinstance(cur_tel, dict):
+            continue
+        for name, base_variants in base_tel.items():
+            cur_variants = cur_tel.get(name, {})
+            for label, base_row in base_variants.items():
+                cur_row = cur_variants.get(label)
+                if cur_row is None:
+                    continue
+                for counter in EFFORT_COUNTERS:
+                    if counter not in base_row or counter not in cur_row:
+                        continue
+                    if cur_row[counter] > base_row[counter]:
+                        regressions.append(
+                            Regression(
+                                experiment,
+                                f"effort.{name}.{label}.{counter}",
+                                float(base_row[counter]),
+                                float(cur_row[counter]),
+                            )
+                        )
+    unique: dict[str, Regression] = {}
+    for r in regressions:
+        unique.setdefault(r.metric, r)
+    return list(unique.values())
+
+
+def render_effort_comparison(regressions: list[Regression]) -> str:
+    if not regressions:
+        return "effort gate: OK (no compile-effort counter grew)"
+    lines = [f"effort gate: {len(regressions)} counter regression(s)"]
     lines += [f"  {r.render()}" for r in regressions]
     return "\n".join(lines)

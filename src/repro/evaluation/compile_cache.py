@@ -1,0 +1,153 @@
+"""On-disk, content-addressed cache of compiled loops.
+
+A cache entry is the pickled :class:`~repro.compiler.driver.CompiledLoop`
+produced by one ``compile_loop`` invocation, stored under a SHA-256 key
+derived from everything that determines its output:
+
+* the loop IR and the machine description (canonically pickled — lazy
+  memo attributes are excluded from pickles precisely so equal inputs
+  hash equally),
+* the strategy and partition/unroll/optimization knobs, and
+* a *code version*: the hash of every ``repro`` source file, so any
+  compiler change invalidates the whole cache rather than serving stale
+  results.
+
+The cache is safe to share between processes: entries are written to a
+temporary file and atomically renamed into place, a torn or corrupt
+entry reads as a miss, and concurrent writers of the same key converge
+on identical content.  Enable it by passing a directory to
+:class:`CompileCache` (the evaluation CLI wires ``--compile-cache`` /
+``REPRO_COMPILE_CACHE`` to this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import replace
+
+from repro.compiler.driver import CompiledLoop
+
+_PICKLE_PROTOCOL = 4
+
+_code_version: str | None = None
+
+
+def canonical_loop(loop):
+    """``loop`` with operation uids renumbered to position order.
+
+    Operation uids come from a process-global counter, so two builds of
+    the same workload loop carry different absolute uids.  Every
+    uid-bearing field (``uid`` itself and the ``origin`` provenance
+    link) is remapped onto a dense 0..n-1 numbering over preheader+body
+    order; registers and arrays are already name-based.  The result
+    hashes equally for logically identical loops regardless of build
+    order, and remains injective per loop, so distinct loops cannot
+    collide through the renumbering."""
+    ops = list(loop.preheader) + list(loop.body)
+    remap = {op.uid: i for i, op in enumerate(ops)}
+
+    def fix(op):
+        origin = op.origin
+        if origin is not None:
+            origin = remap.get(origin, origin)
+        return replace(op, uid=remap[op.uid], origin=origin)
+
+    return replace(
+        loop,
+        preheader=tuple(fix(op) for op in loop.preheader),
+        body=tuple(fix(op) for op in loop.body),
+    )
+
+
+def code_version() -> str:
+    """SHA-256 over every ``repro`` source file (path and content).
+
+    Computed once per process.  Any edit to the compiler — not just to
+    modules a compilation happens to import — changes the version, which
+    keeps cache keys conservative.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for directory, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(directory, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as f:
+                    digest.update(f.read())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def cache_key(
+    loop,
+    machine,
+    strategy,
+    partition_config=None,
+    baseline_unroll=None,
+    optimize=False,
+    allow_reassociation=False,
+) -> str:
+    """Content hash of one ``compile_loop`` invocation's inputs."""
+    blob = pickle.dumps(
+        (
+            code_version(),
+            canonical_loop(loop),
+            machine,
+            strategy.value,
+            partition_config,
+            baseline_unroll,
+            optimize,
+            allow_reassociation,
+        ),
+        protocol=_PICKLE_PROTOCOL,
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
+class CompileCache:
+    """Directory-backed store of compiled loops keyed by content hash."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], f"{key}.pkl")
+
+    def load(self, key: str) -> CompiledLoop | None:
+        """The cached compile result, or ``None`` on a miss (including a
+        missing, torn, or unreadable entry)."""
+        try:
+            with open(self._path(key), "rb") as f:
+                value = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return value if isinstance(value, CompiledLoop) else None
+
+    def store(self, key: str, compiled: CompiledLoop) -> None:
+        """Atomically persist one compile result under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(compiled, f, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -22,6 +22,7 @@ strategy.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -79,14 +80,38 @@ class LoopComparison:
 
 @dataclass
 class CompileTelemetry:
-    """Aggregate compile-time effort for one (benchmark, variant) batch."""
+    """Aggregate compile-time effort for one (benchmark, variant) batch.
+
+    The ``kl_*`` and ``sched_attempts`` counters are *deterministic
+    effort* metrics: they ride on the compiled objects themselves, so
+    they are identical whether a loop was compiled in-process, in a
+    worker, or served from the on-disk compile cache.  ``wall_ms`` and
+    the ``cache_hits``/``cache_misses`` split describe how this
+    particular run obtained the results."""
 
     loops: int = 0
     wall_ms: float = 0.0
     kl_iterations: int = 0
     kl_probes: int = 0
+    kl_probe_cache_hits: int = 0
     kl_bin_packs: int = 0
+    kl_repacks: int = 0
+    kl_pack_steps: int = 0
     sched_attempts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def absorb(self, compiled: CompiledLoop) -> None:
+        """Fold one compiled loop's effort counters into the batch."""
+        self.loops += 1
+        if compiled.partition is not None:
+            self.kl_iterations += compiled.partition.iterations
+            self.kl_probes += compiled.partition.n_probes
+            self.kl_probe_cache_hits += compiled.partition.n_probe_cache_hits
+            self.kl_bin_packs += compiled.partition.n_bin_packs
+            self.kl_repacks += compiled.partition.n_repacks
+            self.kl_pack_steps += compiled.partition.n_pack_steps
+        self.sched_attempts += sum(u.schedule.attempts for u in compiled.units)
 
 
 @dataclass
@@ -103,11 +128,47 @@ class BenchmarkEvaluation:
         return self.total_cycles(baseline) / self.total_cycles(label)
 
 
-class Evaluator:
-    """Compiles and caches the corpus under the standard variants."""
+def _compile_job(
+    args: tuple,
+) -> CompiledLoop:
+    """Top-level worker for the process pool: compile one loop."""
+    loop, machine, strategy, partition_config = args
+    return compile_loop(
+        loop, machine, strategy, partition_config=partition_config
+    )
 
-    def __init__(self, machine: MachineDescription | None = None):
+
+class Evaluator:
+    """Compiles and caches the corpus under the standard variants.
+
+    ``jobs`` fans independent (benchmark, variant, loop) compilations out
+    to a process pool (default: serial; ``REPRO_JOBS`` overrides).
+    ``compile_cache`` — a directory path or
+    :class:`~repro.evaluation.compile_cache.CompileCache` — persists
+    compiled loops across runs keyed by loop IR, machine, strategy, and
+    compiler version (``REPRO_COMPILE_CACHE`` overrides).  Neither
+    changes any result: the corpus is deterministic, workers return the
+    same objects in-process compilation produces, and cached entries are
+    content-addressed.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription | None = None,
+        jobs: int | None = None,
+        compile_cache=None,
+    ):
         self.machine = machine or paper_machine()
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        self.jobs = max(1, jobs)
+        if compile_cache is None:
+            compile_cache = os.environ.get("REPRO_COMPILE_CACHE") or None
+        if isinstance(compile_cache, str):
+            from repro.evaluation.compile_cache import CompileCache
+
+            compile_cache = CompileCache(compile_cache)
+        self.compile_cache = compile_cache
         self._benchmarks: dict[str, Benchmark] = {}
         self._compiled: dict[tuple[str, str], list[CompiledLoop]] = {}
         self.telemetry: dict[tuple[str, str], CompileTelemetry] = {}
@@ -130,35 +191,124 @@ class Evaluator:
     def compiled_loops(self, name: str, variant: Variant) -> list[CompiledLoop]:
         key = (name, variant.label)
         if key not in self._compiled:
+            self._compile_batches([(name, variant)])
+        return self._compiled[key]
+
+    def prewarm(
+        self,
+        names: tuple[str, ...] = BENCHMARK_NAMES,
+        variants: list[Variant] | None = None,
+    ) -> None:
+        """Compile every (benchmark, variant) pair up front, in one
+        fan-out.  With ``jobs > 1`` this is where cross-benchmark
+        parallelism comes from: the tables then read memoized results."""
+        variants = (
+            list(variants) if variants is not None else self.standard_variants()
+        )
+        pending = [
+            (name, variant)
+            for name in names
+            for variant in variants
+            if (name, variant.label) not in self._compiled
+        ]
+        if pending:
+            self._compile_batches(pending)
+
+    def _compile_batches(
+        self, batches: list[tuple[str, Variant]]
+    ) -> None:
+        """Compile every loop of every (benchmark, variant) batch,
+        consulting the compile cache first and fanning misses out to the
+        process pool when ``jobs > 1``."""
+        rec = active_recorder()
+        slots: dict[tuple[str, str], list[CompiledLoop | None]] = {}
+        misses: list[tuple[tuple[str, str], int, tuple, str | None]] = []
+        cache = self.compile_cache
+        for name, variant in batches:
+            key = (name, variant.label)
             bench = self.benchmark(name)
-            rec = active_recorder()
-            telemetry = CompileTelemetry()
-            with maybe_span(
-                rec, "compile_benchmark", benchmark=name, variant=variant.label
-            ):
-                start = time.perf_counter()
-                loops = [
-                    compile_loop(
+            self.telemetry[key] = telemetry = CompileTelemetry()
+            slot: list[CompiledLoop | None] = [None] * len(bench.loops)
+            slots[key] = slot
+            for i, wl in enumerate(bench.loops):
+                args = (
+                    wl.loop,
+                    variant.machine,
+                    variant.strategy,
+                    variant.partition_config,
+                )
+                entry_key: str | None = None
+                if cache is not None:
+                    from repro.evaluation.compile_cache import cache_key
+
+                    entry_key = cache_key(
                         wl.loop,
                         variant.machine,
                         variant.strategy,
                         partition_config=variant.partition_config,
                     )
-                    for wl in bench.loops
-                ]
-                telemetry.wall_ms = (time.perf_counter() - start) * 1e3
-            telemetry.loops = len(loops)
-            for compiled in loops:
-                if compiled.partition is not None:
-                    telemetry.kl_iterations += compiled.partition.iterations
-                    telemetry.kl_probes += compiled.partition.n_probes
-                    telemetry.kl_bin_packs += compiled.partition.n_bin_packs
-                telemetry.sched_attempts += sum(
-                    u.schedule.attempts for u in compiled.units
+                    cached = cache.load(entry_key)
+                    if cached is not None:
+                        slot[i] = cached
+                        telemetry.cache_hits += 1
+                        continue
+                    telemetry.cache_misses += 1
+                misses.append((key, i, args, entry_key))
+
+        batch_wall: dict[tuple[str, str], float] = {}
+        if self.jobs > 1 and len(misses) > 1:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            start = time.perf_counter()
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                compiled_misses = list(
+                    pool.map(_compile_job, [args for _, _, args, _ in misses])
                 )
-            self.telemetry[key] = telemetry
-            self._compiled[key] = loops
-        return self._compiled[key]
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            for (key, i, _, entry_key), compiled in zip(
+                misses, compiled_misses
+            ):
+                # Attribute the fan-out's wall time by miss share.
+                batch_wall[key] = batch_wall.get(key, 0.0) + elapsed_ms / len(
+                    misses
+                )
+                slots[key][i] = compiled
+                if cache is not None and entry_key is not None:
+                    cache.store(entry_key, compiled)
+        else:
+            by_batch: dict[tuple[str, str], list] = {}
+            for miss in misses:
+                by_batch.setdefault(miss[0], []).append(miss)
+            for (name, variant) in batches:
+                key = (name, variant.label)
+                todo = by_batch.get(key, [])
+                if not todo:
+                    continue
+                with maybe_span(
+                    rec,
+                    "compile_benchmark",
+                    benchmark=name,
+                    variant=variant.label,
+                ):
+                    start = time.perf_counter()
+                    for _, i, args, entry_key in todo:
+                        compiled = _compile_job(args)
+                        slots[key][i] = compiled
+                        if cache is not None and entry_key is not None:
+                            cache.store(entry_key, compiled)
+                    batch_wall[key] = (time.perf_counter() - start) * 1e3
+
+        for key, slot in slots.items():
+            telemetry = self.telemetry[key]
+            telemetry.wall_ms = batch_wall.get(key, 0.0)
+            for compiled in slot:
+                assert compiled is not None
+                telemetry.absorb(compiled)
+            self._compiled[key] = slot
 
     def loop_metric_rows(
         self, names: tuple[str, ...] = BENCHMARK_NAMES
@@ -198,6 +348,7 @@ class Evaluator:
     ) -> BenchmarkEvaluation:
         bench = self.benchmark(name)
         variants = variants or self.standard_variants()
+        self.prewarm((name,), variants)
         loop_cycles: dict[str, list[int]] = {}
         compiled: dict[str, list[CompiledLoop]] = {}
         for variant in variants:
@@ -220,6 +371,7 @@ class Evaluator:
         self, names: tuple[str, ...] = BENCHMARK_NAMES
     ) -> dict[str, dict[str, float]]:
         """Speedup over modulo scheduling: traditional / full / selective."""
+        self.prewarm(names)
         rows: dict[str, dict[str, float]] = {}
         for name in names:
             ev = self.evaluate(name)
@@ -279,6 +431,7 @@ class Evaluator:
             Strategy.SELECTIVE,
             PartitionConfig(account_communication=False),
         )
+        self.prewarm(names, self.standard_variants() + [ignored])
         rows: dict[str, dict[str, float]] = {}
         for name in names:
             ev = self.evaluate(
@@ -297,6 +450,9 @@ class Evaluator:
         am = aligned_machine(self.machine.vector_length)
         aligned_base = Variant("baseline_al", am, Strategy.BASELINE)
         aligned_sel = Variant("selective_al", am, Strategy.SELECTIVE)
+        self.prewarm(
+            names, self.standard_variants() + [aligned_base, aligned_sel]
+        )
         rows: dict[str, dict[str, float]] = {}
         for name in names:
             ev = self.evaluate(name)

@@ -115,9 +115,32 @@ class MachineDescription:
 
     # ------------------------------------------------------------------
 
+    def _memo(self, slot: str) -> dict:
+        """Per-instance memo dict (lazily created; excluded from pickles
+        so cache keys and serialized machines stay canonical)."""
+        memo = self.__dict__.get(slot)
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, slot, memo)
+        return memo
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for slot in ("_rc_memo", "_opcode_memo"):
+            state.pop(slot, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def resource_class(self, name: str) -> ResourceClass:
+        memo = self._memo("_rc_memo")
+        rc = memo.get(name)
+        if rc is not None:
+            return rc
         for r in self.resources:
             if r.name == name:
+                memo[name] = r
                 return r
         raise KeyError(f"machine {self.name!r} has no resource class {name!r}")
 
@@ -140,6 +163,20 @@ class MachineDescription:
         return self.opcode_info_for(op.kind, op.dtype, op.is_vector)
 
     def opcode_info_for(
+        self, kind: OpKind, dtype: ScalarType, is_vector: bool
+    ) -> OpcodeInfo:
+        """Memoized: opcode selection is pure per machine, and the
+        partitioner/scheduler fast paths resolve the same opcodes for
+        every probe, dependence edge, and reservation scan."""
+        memo = self._memo("_opcode_memo")
+        key = (kind, dtype, is_vector)
+        info = memo.get(key)
+        if info is None:
+            info = self._select_opcode(kind, dtype, is_vector)
+            memo[key] = info
+        return info
+
+    def _select_opcode(
         self, kind: OpKind, dtype: ScalarType, is_vector: bool
     ) -> OpcodeInfo:
         lat = self.latencies

@@ -24,7 +24,21 @@ class ResourceClass:
             raise ValueError(f"resource class {self.name!r} needs count >= 1")
 
     def instances(self) -> list[str]:
-        return [f"{self.name}{i}" for i in range(self.count)]
+        # Memoized: instance names are asked for on every bin reservation
+        # and every modulo-reservation-table scan.
+        names = self.__dict__.get("_instances")
+        if names is None:
+            names = [f"{self.name}{i}" for i in range(self.count)]
+            object.__setattr__(self, "_instances", names)
+        return names
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_instances", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 @dataclass(frozen=True)

@@ -134,6 +134,17 @@ def edge_delay(
     return 1
 
 
+def edge_delays(
+    graph: DependenceGraph, machine: MachineDescription
+) -> dict[DepEdge, int]:
+    """Per-edge delay table, computed once per (loop, machine).
+
+    Shared by ``res_mii``/``rec_mii``/``_heights``/``_try_schedule`` so
+    the repeated opcode resolution per edge per relaxation round (and per
+    II probe of the RecMII binary search) happens exactly once."""
+    return {e: edge_delay(e, graph, machine) for e in graph.edges}
+
+
 def res_mii(loop: Loop, machine: MachineDescription) -> ResMII:
     """Resource-constrained minimum II of a (transformed) loop body."""
     bins = Bins(machine)
@@ -153,19 +164,29 @@ def res_mii(loop: Loop, machine: MachineDescription) -> ResMII:
 
 
 def _relax(
-    graph: DependenceGraph, machine: MachineDescription, ii: int
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    delays: dict[DepEdge, int] | None = None,
+    dist: dict[int, int] | None = None,
 ) -> tuple[dict[int, DepEdge], int | None]:
     """Bellman-Ford longest-path relaxation under weights
     ``delay - ii*distance`` with predecessor tracking.  Returns the
     predecessor-edge map and a node that still relaxed on the |V|-th
-    round (``None`` when no positive cycle exists)."""
+    round (``None`` when no positive cycle exists).
+
+    ``delays`` is the precomputed :func:`edge_delays` table; ``dist`` an
+    optional scratch distance array reused (and reset) across the RecMII
+    binary search's II probes."""
     nodes = graph.node_ids()
-    dist = {n: 0 for n in nodes}
+    if delays is None:
+        delays = edge_delays(graph, machine)
+    if dist is None:
+        dist = {}
+    for n in nodes:
+        dist[n] = 0
     pred: dict[int, DepEdge] = {}
-    weights = [
-        (e, edge_delay(e, graph, machine) - ii * e.distance)
-        for e in graph.edges
-    ]
+    weights = [(e, delays[e] - ii * e.distance) for e in graph.edges]
     witness: int | None = None
     for _ in range(len(nodes)):
         changed = False
@@ -181,21 +202,28 @@ def _relax(
 
 
 def _has_positive_cycle(
-    graph: DependenceGraph, machine: MachineDescription, ii: int
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    delays: dict[DepEdge, int] | None = None,
+    dist: dict[int, int] | None = None,
 ) -> bool:
     """Does any cycle have positive total weight ``delay - ii*distance``?"""
-    _, witness = _relax(graph, machine, ii)
+    _, witness = _relax(graph, machine, ii, delays, dist)
     return witness is not None
 
 
 def _extract_positive_cycle(
-    graph: DependenceGraph, machine: MachineDescription, ii: int
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    delays: dict[DepEdge, int] | None = None,
 ) -> list[DepEdge]:
     """The edges of one positive-weight cycle at ``ii`` (empty when no
     such cycle exists).  The witness of the final relaxation round is
     walked back |V| predecessor steps to land inside the cycle, then the
     cycle is collected."""
-    pred, witness = _relax(graph, machine, ii)
+    pred, witness = _relax(graph, machine, ii, delays)
     if witness is None:
         return []
     node = witness
@@ -213,22 +241,29 @@ def _extract_positive_cycle(
     return cycle
 
 
-def rec_mii(graph: DependenceGraph, machine: MachineDescription) -> RecMII:
+def rec_mii(
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    delays: dict[DepEdge, int] | None = None,
+) -> RecMII:
     """Recurrence-constrained minimum II, carrying the critical cycle."""
     if not graph.edges:
         return RecMII(1)
-    max_delay = max(edge_delay(e, graph, machine) for e in graph.edges)
+    if delays is None:
+        delays = edge_delays(graph, machine)
+    dist: dict[int, int] = {}
+    max_delay = max(delays[e] for e in graph.edges)
     hi = max(1, max_delay * len(graph.ops))
-    if _has_positive_cycle(graph, machine, hi):
+    if _has_positive_cycle(graph, machine, hi, delays, dist):
         # A cycle positive at an II exceeding any delay/distance ratio can
         # only carry zero total distance: the loop body cycles on itself.
         raise DependenceCycleError(
-            graph, _extract_positive_cycle(graph, machine, hi)
+            graph, _extract_positive_cycle(graph, machine, hi, delays)
         )
     lo = 1
     while lo < hi:
         mid = (lo + hi) // 2
-        if _has_positive_cycle(graph, machine, mid):
+        if _has_positive_cycle(graph, machine, mid, delays, dist):
             lo = mid + 1
         else:
             hi = mid
@@ -236,16 +271,19 @@ def rec_mii(graph: DependenceGraph, machine: MachineDescription) -> RecMII:
         return RecMII(1)
     # A cycle still positive one II below the bound achieves exactly
     # ceil(delay/distance) == lo: the critical recurrence.
-    cycle = _extract_positive_cycle(graph, machine, lo - 1)
-    delay = sum(edge_delay(e, graph, machine) for e in cycle)
+    cycle = _extract_positive_cycle(graph, machine, lo - 1, delays)
+    delay = sum(delays[e] for e in cycle)
     distance = sum(e.distance for e in cycle)
     return RecMII(lo, cycle, delay, distance)
 
 
 def minimum_ii(
-    loop: Loop, graph: DependenceGraph, machine: MachineDescription
+    loop: Loop,
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    delays: dict[DepEdge, int] | None = None,
 ) -> tuple[int, ResMII, RecMII]:
     """(MII, ResMII, RecMII)."""
     res = res_mii(loop, machine)
-    rec = rec_mii(graph, machine)
+    rec = rec_mii(graph, machine, delays)
     return max(res, rec), res, rec

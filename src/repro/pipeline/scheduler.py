@@ -20,7 +20,8 @@ from repro.ir.loop import Loop
 from repro.ir.operations import Operation
 from repro.machine.machine import MachineDescription
 from repro.observability.recorder import Recorder, active_recorder, maybe_span
-from repro.pipeline.mii import RecMII, ResMII, edge_delay, minimum_ii
+from repro.dependence.graph import DepEdge
+from repro.pipeline.mii import RecMII, ResMII, edge_delays, minimum_ii
 from repro.pipeline.reservation import ModuloReservationTable
 
 
@@ -71,16 +72,19 @@ def _heights(
     graph: DependenceGraph,
     machine: MachineDescription,
     ii: int,
+    delays: dict[DepEdge, int] | None = None,
 ) -> dict[int, int]:
     """Longest path from each operation to any sink under II-adjusted
     weights — the scheduling priority.  Converges because MII rules out
     positive cycles."""
+    if delays is None:
+        delays = edge_delays(graph, machine)
     height = {op.uid: 0 for op in loop.body}
     # Relax to fixpoint (bounded by |V| rounds at a feasible II).
     for _ in range(len(loop.body)):
         changed = False
         for edge in graph.edges:
-            w = edge_delay(edge, graph, machine) - ii * edge.distance
+            w = delays[edge] - ii * edge.distance
             candidate = height[edge.dst] + w
             if candidate > height[edge.src]:
                 height[edge.src] = candidate
@@ -98,8 +102,20 @@ def _try_schedule(
     budget: int,
     jitter_seed: int | None = None,
     rec: Recorder | None = None,
+    delays: dict[DepEdge, int] | None = None,
+    base_height: dict[int, int] | None = None,
+    body_index: dict[int, int] | None = None,
+    by_uid: dict[int, Operation] | None = None,
 ) -> dict[int, int] | None:
-    height: dict[int, float] = dict(_heights(loop, graph, machine, ii))
+    # II-invariant state (delays, body order, uid map) and the per-II
+    # un-jittered heights are computed by the caller once and shared by
+    # the four restart variants; standalone calls fall back to computing
+    # them here.
+    if delays is None:
+        delays = edge_delays(graph, machine)
+    if base_height is None:
+        base_height = _heights(loop, graph, machine, ii, delays)
+    height: dict[int, float] = base_height
     rng = None
     if jitter_seed is not None:
         # Deterministic perturbation: tight kernels (every issue slot
@@ -110,10 +126,13 @@ def _try_schedule(
         import random
 
         rng = random.Random(jitter_seed)
+        height = dict(base_height)
         for uid in height:
             height[uid] += rng.random() * 2.0
-    body_index = {op.uid: i for i, op in enumerate(loop.body)}
-    by_uid = {op.uid: op for op in loop.body}
+    if body_index is None:
+        body_index = {op.uid: i for i, op in enumerate(loop.body)}
+    if by_uid is None:
+        by_uid = {op.uid: op for op in loop.body}
 
     times: dict[int, int] = {}
     last_time: dict[int, int] = {}
@@ -156,22 +175,27 @@ def _try_schedule(
         for edge in graph.predecessors(uid):
             if edge.src == uid or edge.src not in times:
                 continue
-            bound = (
-                times[edge.src]
-                + edge_delay(edge, graph, machine)
-                - ii * edge.distance
-            )
+            bound = times[edge.src] + delays[edge] - ii * edge.distance
             estart = max(estart, bound)
 
         placed_at: int | None = None
-        fitting = [t for t in range(estart, estart + ii) if mrt.fits(op, t)]
-        if fitting:
-            # Earliest fit by default; jittered attempts sometimes pick a
-            # later fitting cycle, which reaches schedules where an issue
-            # row must be left open for a not-yet-scheduled operation.
-            placed_at = fitting[0]
-            if rng is not None and len(fitting) > 1 and rng.random() < 0.5:
-                placed_at = rng.choice(fitting)
+        if rng is None:
+            # Earliest fit: stop scanning at the first feasible slot.
+            for t in range(estart, estart + ii):
+                if mrt.fits(op, t):
+                    placed_at = t
+                    break
+        else:
+            # Jittered attempts sometimes pick a later fitting cycle,
+            # which reaches schedules where an issue row must be left
+            # open for a not-yet-scheduled operation — they need the
+            # full fitting-slot list.
+            fitting = [t for t in range(estart, estart + ii) if mrt.fits(op, t)]
+            if fitting:
+                placed_at = fitting[0]
+                if len(fitting) > 1 and rng.random() < 0.5:
+                    placed_at = rng.choice(fitting)
+        if placed_at is not None:
             mrt.place(op, placed_at)
         if placed_at is None:
             # Force placement, evicting conflicts (Rau's scheme: never
@@ -192,7 +216,7 @@ def _try_schedule(
         for edge in graph.successors(uid):
             if edge.dst == uid or edge.dst not in times:
                 continue
-            need = placed_at + edge_delay(edge, graph, machine) - ii * edge.distance
+            need = placed_at + delays[edge] - ii * edge.distance
             if times[edge.dst] < need:
                 mrt.remove(edge.dst)
                 del times[edge.dst]
@@ -201,7 +225,7 @@ def _try_schedule(
         for edge in graph.predecessors(uid):
             if edge.src == uid or edge.src not in times:
                 continue
-            need = times[edge.src] + edge_delay(edge, graph, machine) - ii * edge.distance
+            need = times[edge.src] + delays[edge] - ii * edge.distance
             if placed_at < need:
                 mrt.remove(edge.src)
                 del times[edge.src]
@@ -231,7 +255,8 @@ def modulo_schedule(
         raise SchedulingError(f"loop {loop.name!r} has an empty body")
     recorder = active_recorder()
     with maybe_span(recorder, "modulo_schedule", loop=loop.name):
-        mii, res, rec = minimum_ii(loop, graph, machine)
+        delays = edge_delays(graph, machine)
+        mii, res, rec = minimum_ii(loop, graph, machine, delays)
         start = max(mii, min_ii or 1)
         budget = max(budget_ratio * len(loop.body), 40)
         max_ii = max(start * max_ii_factor, start + 32)
@@ -239,12 +264,28 @@ def modulo_schedule(
         if recorder is not None:
             _remark_mii_bound(recorder, loop, graph, res, rec, start, min_ii)
 
+        # II-invariant scheduling state, shared by every II probe and
+        # restart variant.
+        body_index = {op.uid: i for i, op in enumerate(loop.body)}
+        by_uid = {op.uid: op for op in loop.body}
+
         attempts = 0
         for ii in range(start, max_ii + 1):
+            base_height = _heights(loop, graph, machine, ii, delays)
             for variant in (None, 1, 2, 3):
                 attempts += 1
                 times = _try_schedule(
-                    loop, graph, machine, ii, budget, variant, recorder
+                    loop,
+                    graph,
+                    machine,
+                    ii,
+                    budget,
+                    variant,
+                    recorder,
+                    delays=delays,
+                    base_height=base_height,
+                    body_index=body_index,
+                    by_uid=by_uid,
                 )
                 if times is None and variant == 3 and recorder is not None:
                     # All restart variants failed at this II: record what
@@ -261,7 +302,7 @@ def modulo_schedule(
                         at_bound=ii == mii,
                     )
                 if times is not None:
-                    _check_schedule(loop, graph, machine, ii, times)
+                    _check_schedule(loop, graph, machine, ii, times, delays)
                     if recorder is not None:
                         recorder.count("sched.loops_scheduled")
                         recorder.count("sched.ii_attempts", attempts)
@@ -378,11 +419,14 @@ def _check_schedule(
     machine: MachineDescription,
     ii: int,
     times: dict[int, int],
+    delays: dict[DepEdge, int] | None = None,
 ) -> None:
     """Validate dependence and resource feasibility of a finished schedule."""
+    if delays is None:
+        delays = edge_delays(graph, machine)
     for edge in graph.edges:
         lhs = times[edge.dst] + ii * edge.distance
-        rhs = times[edge.src] + edge_delay(edge, graph, machine)
+        rhs = times[edge.src] + delays[edge]
         if lhs < rhs:
             raise SchedulingError(
                 f"schedule violates {edge} in {loop.name!r} (ii={ii})"

@@ -17,6 +17,17 @@ Two details from the paper are implemented exactly:
   release-and-reserve cost probes of ``TEST-REPARTITION`` accurate.
 * Reservations are remembered per key so they can be released exactly
   (``RELEASE-RESOURCES``), including communication overhead.
+
+Performance notes (the partitioner's ``TEST-REPARTITION`` is the hottest
+loop in the compiler):
+
+* the sum of squares is maintained incrementally (``O(1)`` per weight
+  change instead of a scan per tie-break candidate);
+* the high-water mark is cached and only recomputed after a release
+  could have lowered it;
+* :meth:`checkpoint` / :meth:`rollback` journal every reserve/release so
+  a cost probe can mutate the live bins and undo exactly, replacing the
+  full-ledger deep copy per probe.
 """
 
 from __future__ import annotations
@@ -44,6 +55,12 @@ class Bins:
             for rc in self.machine.resources:
                 for instance in rc.instances():
                     self.weights[instance] = 0
+        self._sum_sq = sum(w * w for w in self.weights.values())
+        self._hwm = max(self.weights.values(), default=0)
+        self._hwm_dirty = False
+        # Undo journal: None when no checkpoint is active (mutations are
+        # then unrecorded), else a list of undo entries.
+        self._journal: list[tuple[str, object, object]] | None = None
 
     def copy(self) -> Bins:
         clone = Bins(self.machine, dict(self.weights), balance_ties=self.balance_ties)
@@ -53,29 +70,83 @@ class Bins:
     # ------------------------------------------------------------------
 
     def high_water_mark(self) -> int:
-        return max(self.weights.values(), default=0)
+        if self._hwm_dirty:
+            self._hwm = max(self.weights.values(), default=0)
+            self._hwm_dirty = False
+        return self._hwm
 
     def sum_of_squares(self) -> int:
-        return sum(w * w for w in self.weights.values())
+        return self._sum_sq
+
+    def _add_weight(self, instance: str, delta: int) -> None:
+        old = self.weights[instance]
+        new = old + delta
+        self.weights[instance] = new
+        self._sum_sq += new * new - old * old
+        if delta > 0:
+            if not self._hwm_dirty and new > self._hwm:
+                self._hwm = new
+        elif not self._hwm_dirty and old == self._hwm:
+            # The (possibly unique) maximum shrank; recompute lazily.
+            self._hwm_dirty = True
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback (apply-undo delta protocol)
+
+    def checkpoint(self) -> int:
+        """Start (or nest within) an undoable region; returns a mark to
+        pass to :meth:`rollback`.  Journaling stays active until the
+        outermost mark is rolled back."""
+        if self._journal is None:
+            self._journal = []
+        return len(self._journal)
+
+    def rollback(self, mark: int = 0) -> None:
+        """Undo every reserve/release journaled after ``mark``."""
+        journal = self._journal
+        if journal is None:
+            raise RuntimeError("rollback without an active checkpoint")
+        while len(journal) > mark:
+            kind, key, payload = journal.pop()
+            if kind == "reserve":
+                appended, created = payload
+                entries = self.reservations[key]
+                for _ in range(appended):
+                    instance, cycles = entries.pop()
+                    self._add_weight(instance, -cycles)
+                if created:
+                    del self.reservations[key]
+            else:  # "release"
+                entries = payload
+                self.reservations[key] = entries
+                for instance, cycles in entries:
+                    self._add_weight(instance, cycles)
+        if mark == 0:
+            self._journal = None
 
     # ------------------------------------------------------------------
 
     def reserve_least_used(self, opcode: OpcodeInfo, key: object) -> None:
         """Reserve ``opcode``'s resources on least-used alternatives,
         recording the choice under ``key`` for later release."""
+        created = key not in self.reservations
         ledger = self.reservations.setdefault(key, [])
+        appended = 0
+        weights = self.weights
         for use in opcode.uses:
             rc = self.machine.resource_class(use.resource)
             best_instance: str | None = None
             best_high = None
             best_cost = None
+            hwm = self.high_water_mark()
             for instance in rc.instances():
-                new_weight = self.weights[instance] + use.cycles
-                high = max(self.high_water_mark(), new_weight)
-                # Incremental sum of squares: only this bin changes.
-                old = self.weights[instance]
+                old = weights[instance]
+                new_weight = old + use.cycles
+                high = hwm if hwm > new_weight else new_weight
+                # Incremental sum of squares: only this bin changes, and
+                # the shared total cancels in comparisons.
                 cost = (
-                    self.sum_of_squares() - old * old + new_weight * new_weight
+                    new_weight * new_weight - old * old
                     if self.balance_ties
                     else 0
                 )
@@ -88,8 +159,11 @@ class Bins:
                     best_cost = cost
                     best_instance = instance
             assert best_instance is not None
-            self.weights[best_instance] += use.cycles
+            self._add_weight(best_instance, use.cycles)
             ledger.append((best_instance, use.cycles))
+            appended += 1
+        if self._journal is not None and (appended or created):
+            self._journal.append(("reserve", key, (appended, created)))
 
     def reserve_all(self, opcodes: list[OpcodeInfo], key: object) -> None:
         for opcode in opcodes:
@@ -97,10 +171,13 @@ class Bins:
 
     def release(self, key: object) -> None:
         """Release every reservation recorded under ``key``."""
-        for instance, cycles in self.reservations.pop(key, []):
-            self.weights[instance] -= cycles
+        entries = self.reservations.pop(key, [])
+        for instance, cycles in entries:
+            self._add_weight(instance, -cycles)
             if self.weights[instance] < 0:
                 raise RuntimeError(f"bin {instance} released below zero")
+        if self._journal is not None and entries:
+            self._journal.append(("release", key, entries))
 
     def has_key(self, key: object) -> bool:
         return key in self.reservations

@@ -17,10 +17,33 @@ and restarts from it.  It terminates when an iteration fails to improve
 on its starting configuration.  Cost probes checkpoint the bins and
 release/reserve only the moved operation's resources and the transfers it
 touches, exactly as ``TEST-REPARTITION`` prescribes; a full bin-pack is
-performed only after an operation is finally chosen.
+performed only once per Kernighan-Lin iteration.
+
+Fast-path engineering (behavior-preserving — every optimization below
+reproduces the original trajectory bit-for-bit):
+
+* probes run the apply/undo delta protocol (:meth:`Bins.checkpoint` /
+  :meth:`Bins.rollback`) on the live bins instead of deep-copying the
+  ledger per ``TEST-REPARTITION``;
+* an accepted move re-packs only the *suffix* of the deterministic
+  ``BIN-PACK`` reservation sequence that the flip invalidates
+  (:class:`IncrementalPacker`): the journal rolls the bins back to the
+  first changed reservation and replays from there, which yields a state
+  identical to a from-scratch ``BIN-PACK`` of the flipped assignment.
+  Set ``REPRO_KL_VERIFY=1`` to assert full state equality (weights and
+  ledger) against a reference pack after every move;
+* probe results are memoized FM-style between moves: a cached probe is
+  invalidated when the last committed move touched an intersecting
+  transfer key (``touch_keys``), and is only *reused* after re-validating
+  the bin weights, the rest-of-machine high-water mark, and the ledger
+  entries the replay would release — under which the release/reserve
+  replay is provably identical, so a hit is bit-identical to a fresh
+  probe.  Set ``REPRO_KL_PROBE_CACHE=0`` to disable.
 """
 
 from __future__ import annotations
+
+import os
 
 from dataclasses import dataclass, field, replace
 
@@ -77,6 +100,9 @@ class PartitionResult:
     moves_accepted: int = 0
     n_probes: int = 0
     n_bin_packs: int = 0
+    n_probe_cache_hits: int = 0
+    n_repacks: int = 0
+    n_pack_steps: int = 0
 
     @property
     def vectorized(self) -> set[int]:
@@ -113,64 +139,138 @@ class PartitionCostModel:
         # recorder is active, the kl.* counters.
         self.n_bin_packs = 0
         self.n_probes = 0
+        self.n_probe_cache_hits = 0
+        self.n_repacks = 0
+        self.n_pack_steps = 0
+        # (uid, side) -> opcode tuple; pure per model and re-resolved
+        # thousands of times across probes otherwise.  Tuples (one object
+        # per key) also make pack-sequence steps compare by identity.
+        self._opcodes_memo: dict[tuple[int, Side], tuple[OpcodeInfo, ...]] = {}
+        self._freedom_memo: dict[tuple[int, Side], int] = {}
+        self._transfer_memo: dict[Transfer, tuple[OpcodeInfo, ...]] = {}
+        self._overhead_memo: tuple[OpcodeInfo, ...] | None = None
+        self._by_uid = {op.uid: op for op in dep.loop.body}
 
-    def op_opcodes(self, op: Operation, side: Side) -> list[OpcodeInfo]:
+    def op_opcodes(self, op: Operation, side: Side) -> tuple[OpcodeInfo, ...]:
+        key = (op.uid, side)
+        infos = self._opcodes_memo.get(key)
+        if infos is None:
+            infos = self._opcodes_memo[key] = self._select_op_opcodes(op, side)
+        return infos
+
+    def _select_op_opcodes(self, op: Operation, side: Side) -> tuple[OpcodeInfo, ...]:
         if side is Side.SCALAR:
             info = self.machine.opcode_info_for(op.kind, op.dtype, False)
-            return [info] * self.machine.vector_length
+            return (info,) * self.machine.vector_length
         infos = [self.machine.opcode_info_for(op.kind, op.dtype, True)]
         if op.kind.is_memory and self.config.account_alignment:
             infos.extend(merge_overhead_opcodes(self.machine, self.dep.loop, op))
-        return infos
+        return tuple(infos)
 
-    def overhead_opcodes(self) -> list[OpcodeInfo]:
+    def op_freedom(self, op: Operation, side: Side) -> int:
+        """Bin-pack ordering key (fewest placement alternatives first)."""
+        key = (op.uid, side)
+        freedom = self._freedom_memo.get(key)
+        if freedom is None:
+            freedom = self._freedom_memo[key] = min(
+                placement_freedom(self.machine, info)
+                for info in self.op_opcodes(op, side)
+            )
+        return freedom
+
+    def overhead_opcodes(self) -> tuple[OpcodeInfo, ...]:
         """Loop control and addressing work, constant across partitions:
         one pointer bump per distinct array, one induction-variable
         increment, one compare-and-branch."""
+        if self._overhead_memo is not None:
+            return self._overhead_memo
         machine = self.machine
         from repro.ir.types import ScalarType
 
-        if not machine.model_loop_overhead:
-            return []
         infos: list[OpcodeInfo] = []
-        arrays = {op.array for op in self.dep.loop.body if op.kind.is_memory}
-        for _ in sorted(a for a in arrays if a is not None):
-            infos.append(machine.opcode_info_for(OpKind.BUMP, ScalarType.I64, False))
-        infos.append(machine.opcode_info_for(OpKind.IVINC, ScalarType.I64, False))
-        infos.append(machine.opcode_info_for(OpKind.CBR, ScalarType.I64, False))
-        return infos
+        if machine.model_loop_overhead:
+            arrays = {op.array for op in self.dep.loop.body if op.kind.is_memory}
+            for _ in sorted(a for a in arrays if a is not None):
+                infos.append(
+                    machine.opcode_info_for(OpKind.BUMP, ScalarType.I64, False)
+                )
+            infos.append(machine.opcode_info_for(OpKind.IVINC, ScalarType.I64, False))
+            infos.append(machine.opcode_info_for(OpKind.CBR, ScalarType.I64, False))
+        self._overhead_memo = tuple(infos)
+        return self._overhead_memo
 
-    def transfer_opcodes(self, transfer: Transfer) -> list[OpcodeInfo]:
+    def transfer_opcodes(self, transfer: Transfer) -> tuple[OpcodeInfo, ...]:
         if not self.config.account_communication:
-            return []
-        return transfer_cost_opcodes(self.machine, transfer)
+            return ()
+        opcodes = self._transfer_memo.get(transfer)
+        if opcodes is None:
+            opcodes = self._transfer_memo[transfer] = tuple(
+                transfer_cost_opcodes(self.machine, transfer)
+            )
+        return opcodes
 
     # ------------------------------------------------------------------
 
-    def bin_pack(self, assignment: dict[int, Side]) -> Bins:
-        """Full greedy bin-pack of the configuration (Figure 2, BIN-PACK).
-
-        Operations with the fewest placement alternatives are packed
-        first; ties resolve in body order.
-        """
-        self.n_bin_packs += 1
-        bins = Bins(self.machine, balance_ties=self.config.balanced_bin_packing)
+    def pack_sequence(
+        self, assignment: dict[int, Side]
+    ) -> list[tuple[object, tuple[OpcodeInfo, ...]]]:
+        """The deterministic reservation sequence BIN-PACK performs for
+        ``assignment``: operations with the fewest placement alternatives
+        first (ties in body order), then partition-induced transfers, then
+        loop overhead.  Each step is ``(reservation key, opcodes)``; two
+        equal steps reserve identically from identical bins, which is what
+        lets :class:`IncrementalPacker` resume a pack mid-sequence."""
+        steps: list[tuple[object, tuple[OpcodeInfo, ...]]] = []
         ordered = sorted(
             self.dep.loop.body,
-            key=lambda op: min(
-                placement_freedom(self.machine, info)
-                for info in self.op_opcodes(op, assignment[op.uid])
-            ),
+            key=lambda op: self.op_freedom(op, assignment[op.uid]),
         )
         for op in ordered:
-            bins.reserve_all(self.op_opcodes(op, assignment[op.uid]), ("op", op.uid))
+            steps.append((("op", op.uid), self.op_opcodes(op, assignment[op.uid])))
         for transfer in transfers_for(self.dataflow, assignment):
             opcodes = self.transfer_opcodes(transfer)
             if opcodes:
-                bins.reserve_all(opcodes, ("comm", transfer.key))
+                steps.append((("comm", transfer.key), opcodes))
         for i, info in enumerate(self.overhead_opcodes()):
-            bins.reserve_least_used(info, ("overhead", i))
+            steps.append((("overhead", i), (info,)))
+        return steps
+
+    def bin_pack(self, assignment: dict[int, Side]) -> Bins:
+        """Full greedy bin-pack of the configuration (Figure 2, BIN-PACK)."""
+        self.n_bin_packs += 1
+        bins = Bins(self.machine, balance_ties=self.config.balanced_bin_packing)
+        for key, opcodes in self.pack_sequence(assignment):
+            for info in opcodes:
+                bins.reserve_least_used(info, key)
         return bins
+
+    def _apply_flip(
+        self,
+        bins: Bins,
+        assignment: dict[int, Side],
+        op: Operation,
+    ) -> None:
+        """Apply the release/reserve delta of flipping ``op`` to ``bins``
+        (TEST-REPARTITION's incremental re-reservation).  ``assignment``
+        is left unchanged."""
+        bins.release(("op", op.uid))
+        touched = self.touch_keys[op.uid]
+        for key in touched:
+            if bins.has_key(("comm", key)):
+                bins.release(("comm", key))
+        new_side = assignment[op.uid].flipped()
+        assignment[op.uid] = new_side
+        try:
+            bins.reserve_all(self.op_opcodes(op, new_side), ("op", op.uid))
+            for key in touched:
+                transfer = transfer_for_key(self.dataflow, assignment, key)
+                if transfer is None:
+                    continue
+                opcodes = self.transfer_opcodes(transfer)
+                if opcodes:
+                    bins.reserve_all(opcodes, ("comm", key))
+        finally:
+            assignment[op.uid] = new_side.flipped()
 
     def probe_cost(
         self,
@@ -179,28 +279,192 @@ class PartitionCostModel:
         op: Operation,
     ) -> int:
         """Cost of the configuration with ``op`` switched, without a full
-        re-pack (Figure 2, TEST-REPARTITION)."""
+        re-pack (Figure 2, TEST-REPARTITION).  The delta is applied to the
+        live bins and journaled, then rolled back exactly."""
         self.n_probes += 1
-        probe = bins.copy()
-        probe.release(("op", op.uid))
-        touched = self.touch_keys[op.uid]
-        for key in touched:
-            if probe.has_key(("comm", key)):
-                probe.release(("comm", key))
-        new_side = assignment[op.uid].flipped()
-        assignment[op.uid] = new_side
+        mark = bins.checkpoint()
         try:
-            probe.reserve_all(self.op_opcodes(op, new_side), ("op", op.uid))
-            for key in touched:
-                transfer = transfer_for_key(self.dataflow, assignment, key)
-                if transfer is None:
-                    continue
-                opcodes = self.transfer_opcodes(transfer)
-                if opcodes:
-                    probe.reserve_all(opcodes, ("comm", key))
+            self._apply_flip(bins, assignment, op)
+            return bins.high_water_mark()
         finally:
-            assignment[op.uid] = new_side.flipped()
-        return probe.high_water_mark()
+            bins.rollback(mark)
+
+    # ------------------------------------------------------------------
+
+    def probe_footprint(self, op: Operation) -> frozenset[str]:
+        """Resource instances a flip of ``op`` can touch, on either side:
+        the validity context of a cached probe result."""
+        classes: set[str] = set()
+        for side in (Side.SCALAR, Side.VECTOR):
+            for info in self.op_opcodes(op, side):
+                for use in info.uses:
+                    classes.add(use.resource)
+        for key in self.touch_keys[op.uid]:
+            if isinstance(key, tuple) and key and key[0] == "carried":
+                dtype = None
+                for entry in self.dataflow.carried_consumers:
+                    if entry.name == key[1]:
+                        dtype = entry.type
+                        break
+            else:
+                dtype = self.dataflow.producer_dtype.get(key)
+            if dtype is None:
+                continue
+            for to_vector in (False, True):
+                transfer = Transfer(key=key, dtype=dtype, to_vector=to_vector)
+                for info in self.transfer_opcodes(transfer):
+                    for use in info.uses:
+                        classes.add(use.resource)
+        instances: set[str] = set()
+        for name in classes:
+            instances.update(self.machine.resource_class(name).instances())
+        return frozenset(instances)
+
+
+class IncrementalPacker:
+    """A packed :class:`Bins` kept in lockstep with an assignment by
+    resuming BIN-PACK mid-sequence instead of re-running it.
+
+    The pack is applied step by step with a journal mark recorded before
+    each step.  When the assignment changes, the new
+    :meth:`PartitionCostModel.pack_sequence` is diffed against the packed
+    one; the bins roll back to the first differing step and only the
+    suffix is replayed.  Because a step's effect is a pure function of
+    the bins state it is applied to, the result is identical — weights
+    and ledger — to a from-scratch ``BIN-PACK`` of the new assignment,
+    so the Kernighan-Lin trajectory is preserved exactly.
+    """
+
+    def __init__(self, model: PartitionCostModel, assignment: dict[int, Side]):
+        self.model = model
+        self.bins = Bins(
+            model.machine, balance_ties=model.config.balanced_bin_packing
+        )
+        self.steps: list[tuple[object, tuple[OpcodeInfo, ...]]] = []
+        self.marks: list[int] = []
+        model.n_bin_packs += 1
+        self._extend(model.pack_sequence(assignment))
+
+    def _extend(
+        self, steps: list[tuple[object, tuple[OpcodeInfo, ...]]]
+    ) -> None:
+        bins = self.bins
+        for step in steps:
+            self.marks.append(bins.checkpoint())
+            key, opcodes = step
+            for info in opcodes:
+                bins.reserve_least_used(info, key)
+            self.steps.append(step)
+        self.model.n_pack_steps += len(steps)
+
+    def repack(self, assignment: dict[int, Side]) -> int:
+        """Bring the bins to ``BIN-PACK(assignment)`` state; returns the
+        configuration cost (high-water mark)."""
+        self.model.n_repacks += 1
+        new_steps = self.model.pack_sequence(assignment)
+        steps = self.steps
+        divergence = 0
+        limit = min(len(steps), len(new_steps))
+        while divergence < limit and steps[divergence] == new_steps[divergence]:
+            divergence += 1
+        if divergence < len(steps):
+            self.bins.rollback(self.marks[divergence])
+            del steps[divergence:]
+            del self.marks[divergence:]
+        if divergence < len(new_steps):
+            self._extend(new_steps[divergence:])
+        return self.bins.high_water_mark()
+
+
+class ProbeCache:
+    """FM-style memo of TEST-REPARTITION results between moves.
+
+    A cached entry stores, besides the probe result, the weights of every
+    bin the flip could touch (the op's *footprint*), the maximum weight
+    over all other bins, and a snapshot of the ledger entries the replay
+    would release (the op's own reservations and its touched transfer
+    keys').  A hit requires all three to be unchanged — under which the
+    probe's release/reserve replay is provably identical, so the cached
+    result is exact, not approximate.  Entries whose transfer keys
+    intersect the last committed move's ``touch_keys`` are dropped
+    outright (the transfer structure itself may have changed).
+    """
+
+    def __init__(self, model: PartitionCostModel, bins: Bins):
+        self.model = model
+        self.bins = bins
+        self._entries: dict[
+            int,
+            tuple[
+                int,
+                list[tuple[str, int]],
+                int,
+                dict[object, tuple[tuple[str, int], ...]],
+            ],
+        ] = {}
+        self._footprints: dict[int, frozenset[str]] = {}
+
+    def _footprint(self, op: Operation) -> frozenset[str]:
+        fp = self._footprints.get(op.uid)
+        if fp is None:
+            fp = self._footprints[op.uid] = self.model.probe_footprint(op)
+        return fp
+
+    def _rest_max(self, footprint: frozenset[str]) -> int:
+        rest = 0
+        for instance, w in self.bins.weights.items():
+            if w > rest and instance not in footprint:
+                rest = w
+        return rest
+
+    def invalidate_for_move(self, op: Operation) -> None:
+        touch_keys = self.model.touch_keys
+        moved = touch_keys[op.uid]
+        stale = [
+            uid
+            for uid in self._entries
+            if uid == op.uid or touch_keys[uid] & moved
+        ]
+        for uid in stale:
+            del self._entries[uid]
+
+    def _released_ledger(
+        self, op: Operation
+    ) -> dict[object, tuple[tuple[str, int], ...]]:
+        """Snapshot of the ledger entries a probe of ``op`` releases."""
+        reservations = self.bins.reservations
+        snap: dict[object, tuple[tuple[str, int], ...]] = {
+            ("op", op.uid): tuple(reservations.get(("op", op.uid), ()))
+        }
+        for key in self.model.touch_keys[op.uid]:
+            entries = reservations.get(("comm", key))
+            if entries:
+                snap[("comm", key)] = tuple(entries)
+        return snap
+
+    def probe(self, assignment: dict[int, Side], op: Operation) -> int:
+        entry = self._entries.get(op.uid)
+        footprint = self._footprint(op)
+        weights = self.bins.weights
+        if entry is not None:
+            result, context, rest, released = entry
+            if (
+                all(weights[i] == w for i, w in context)
+                and self._rest_max(footprint) == rest
+                and self._released_ledger(op) == released
+            ):
+                self.model.n_probe_cache_hits += 1
+                return result
+        result = self.model.probe_cost(self.bins, assignment, op)
+        context = [(i, weights[i]) for i in footprint]
+        self._entries[op.uid] = (
+            result,
+            context,
+            self._rest_max(footprint),
+            self._released_ledger(op),
+        )
+        return result
+
 
 
 def partition_operations(
@@ -218,8 +482,8 @@ def partition_operations(
         body = dep.loop.body
 
         assignment: dict[int, Side] = {op.uid: Side.SCALAR for op in body}
-        scalar_bins = model.bin_pack(assignment)
-        scalar_cost = scalar_bins.high_water_mark()
+        packer = IncrementalPacker(model, assignment)
+        scalar_cost = packer.bins.high_water_mark()
 
         candidates = [op for op in body if dep.is_vectorizable(op)]
         if not candidates or not machine.supports_vectors:
@@ -240,6 +504,7 @@ def partition_operations(
                 iterations=0,
                 history=[scalar_cost],
                 n_bin_packs=model.n_bin_packs,
+                n_pack_steps=model.n_pack_steps,
             )
 
         best_assignment = dict(assignment)
@@ -249,6 +514,8 @@ def partition_operations(
         iterations = 0
         moves = 0
         moves_accepted = 0
+        verify = os.environ.get("REPRO_KL_VERIFY", "") not in ("", "0")
+        use_cache = os.environ.get("REPRO_KL_PROBE_CACHE", "1") not in ("", "0")
 
         while last_cost != best_cost:
             if config.max_iterations is not None and iterations >= config.max_iterations:
@@ -256,7 +523,9 @@ def partition_operations(
             last_cost = best_cost
             iterations += 1
             locked: set[int] = set()
-            bins = model.bin_pack(assignment)
+            cost = packer.repack(assignment)
+            bins = packer.bins
+            cache = ProbeCache(model, bins) if use_cache else None
 
             for _ in range(len(candidates)):
                 # FIND-OP-TO-SWITCH: cheapest probe among unlocked candidates.
@@ -265,16 +534,34 @@ def partition_operations(
                 for op in candidates:
                     if op.uid in locked:
                         continue
-                    probe = model.probe_cost(bins, assignment, op)
+                    probe = (
+                        cache.probe(assignment, op)
+                        if cache is not None
+                        else model.probe_cost(bins, assignment, op)
+                    )
                     if probe < best_probe:
                         best_probe = probe
                         best_op = op
                 assert best_op is not None
-                assignment[best_op.uid] = assignment[best_op.uid].flipped()
                 locked.add(best_op.uid)
                 moves += 1
-                bins = model.bin_pack(assignment)
-                cost = bins.high_water_mark()
+                if cache is not None:
+                    cache.invalidate_for_move(best_op)
+                assignment[best_op.uid] = assignment[best_op.uid].flipped()
+                # Resume BIN-PACK from the first invalidated reservation
+                # in place of re-running it from scratch.
+                cost = packer.repack(assignment)
+                if verify:
+                    reference = model.bin_pack(assignment)
+                    if (
+                        bins.weights != reference.weights
+                        or bins.reservations != reference.reservations
+                    ):
+                        raise AssertionError(
+                            "resumed pack state diverged from reference "
+                            f"bin-pack after moving op {best_op.uid} in "
+                            f"loop {dep.loop.name!r}"
+                        )
                 if cost < best_cost:
                     best_cost = cost
                     best_assignment = dict(assignment)
@@ -292,6 +579,9 @@ def partition_operations(
             moves_accepted=moves_accepted,
             n_probes=model.n_probes,
             n_bin_packs=model.n_bin_packs,
+            n_probe_cache_hits=model.n_probe_cache_hits,
+            n_repacks=model.n_repacks,
+            n_pack_steps=model.n_pack_steps,
         )
         if rec is not None:
             rec.count("kl.loops_partitioned")
@@ -299,6 +589,9 @@ def partition_operations(
             rec.count("kl.moves_evaluated", model.n_probes)
             rec.count("kl.moves_accepted", moves_accepted)
             rec.count("kl.bin_packs", model.n_bin_packs)
+            rec.count("kl.probe_cache_hits", model.n_probe_cache_hits)
+            rec.count("kl.repacks", model.n_repacks)
+            rec.count("kl.pack_steps", model.n_pack_steps)
             rec.observe("kl.cost_reduction", scalar_cost - best_cost)
             rec.event(
                 "kl.converged",

@@ -1,0 +1,297 @@
+"""Fast-path equivalence tests: the compile-time optimizations must be
+behavior-preserving.
+
+Covered here:
+
+* ``Bins.checkpoint``/``rollback`` restores weights, ledger, high-water
+  mark, and the sum-of-squares tie-break state exactly;
+* the apply/undo ``TEST-REPARTITION`` probe equals the reference
+  deep-copy probe and leaves the live bins untouched;
+* :class:`IncrementalPacker`'s resumed pack equals a from-scratch
+  ``BIN-PACK`` after every accepted move (via ``REPRO_KL_VERIFY``);
+* the FM-style probe cache changes no partition outcome;
+* ``edge_delays`` equals per-edge ``edge_delay``;
+* the parallel evaluator and the compile cache reproduce serial,
+  cold-compile results bit-for-bit, with identical deterministic effort
+  counters.
+"""
+
+import random
+
+import pytest
+
+from repro.dependence.analysis import analyze_loop
+from repro.machine.configs import paper_machine
+from repro.pipeline.mii import edge_delay, edge_delays
+from repro.vectorize.bins import Bins
+from repro.vectorize.communication import Side, transfer_for_key
+from repro.vectorize.partition import (
+    IncrementalPacker,
+    PartitionCostModel,
+    PartitionConfig,
+    partition_operations,
+)
+from repro.workloads.generator import generate
+
+MACHINE = paper_machine()
+
+ARCHETYPE_SEEDS = [
+    ("fp_chain", 3),
+    ("stencil", 11),
+    ("mixed", 7),
+    ("memory_bound", 5),
+    ("interleaved", 2),
+]
+
+
+def _dep(archetype, seed):
+    return analyze_loop(generate(archetype, seed), MACHINE.vector_length)
+
+
+def _bins_state(bins):
+    return (
+        dict(bins.weights),
+        {k: list(v) for k, v in bins.reservations.items()},
+        bins.high_water_mark(),
+        bins.sum_of_squares(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Bins journal
+
+
+def test_checkpoint_rollback_restores_exact_state():
+    rng = random.Random(0)
+    dep = _dep("mixed", 1)
+    model = PartitionCostModel(dep, MACHINE, PartitionConfig())
+    assignment = {op.uid: Side.SCALAR for op in dep.loop.body}
+    bins = model.bin_pack(assignment)
+    before = _bins_state(bins)
+    mark = bins.checkpoint()
+    ops = list(dep.loop.body)
+    for _ in range(30):
+        op = rng.choice(ops)
+        if rng.random() < 0.5 and bins.has_key(("op", op.uid)):
+            bins.release(("op", op.uid))
+        else:
+            side = rng.choice((Side.SCALAR, Side.VECTOR))
+            for info in model.op_opcodes(op, side):
+                bins.reserve_least_used(info, ("op", op.uid))
+    bins.rollback(mark)
+    assert _bins_state(bins) == before
+
+
+def test_nested_checkpoints_rollback_to_marks():
+    dep = _dep("fp_chain", 3)
+    model = PartitionCostModel(dep, MACHINE, PartitionConfig())
+    assignment = {op.uid: Side.SCALAR for op in dep.loop.body}
+    bins = model.bin_pack(assignment)
+    op = dep.loop.body[0]
+    outer = bins.checkpoint()
+    for info in model.op_opcodes(op, Side.VECTOR):
+        bins.reserve_least_used(info, ("extra", 1))
+    mid = _bins_state(bins)
+    inner = bins.checkpoint()
+    bins.release(("extra", 1))
+    bins.rollback(inner)
+    assert _bins_state(bins) == mid
+    bins.rollback(outer)
+    assert not bins.has_key(("extra", 1))
+
+
+# ----------------------------------------------------------------------
+# Probe protocol
+
+
+def _reference_probe(model, bins, assignment, op):
+    """The pre-fast-path TEST-REPARTITION: deep-copy and re-reserve."""
+    probe = bins.copy()
+    probe.release(("op", op.uid))
+    touched = model.touch_keys[op.uid]
+    for key in touched:
+        if probe.has_key(("comm", key)):
+            probe.release(("comm", key))
+    new_side = assignment[op.uid].flipped()
+    assignment[op.uid] = new_side
+    try:
+        probe.reserve_all(model.op_opcodes(op, new_side), ("op", op.uid))
+        for key in touched:
+            transfer = transfer_for_key(model.dataflow, assignment, key)
+            if transfer is None:
+                continue
+            opcodes = model.transfer_opcodes(transfer)
+            if opcodes:
+                probe.reserve_all(opcodes, ("comm", key))
+    finally:
+        assignment[op.uid] = new_side.flipped()
+    return probe.high_water_mark()
+
+
+@pytest.mark.parametrize("archetype,seed", ARCHETYPE_SEEDS)
+def test_probe_matches_reference_and_restores_bins(archetype, seed):
+    dep = _dep(archetype, seed)
+    model = PartitionCostModel(dep, MACHINE, PartitionConfig())
+    assignment = {op.uid: Side.SCALAR for op in dep.loop.body}
+    bins = model.bin_pack(assignment)
+    for op in dep.loop.body:
+        if not dep.is_vectorizable(op):
+            continue
+        before = _bins_state(bins)
+        expected = _reference_probe(model, bins, assignment, op)
+        got = model.probe_cost(bins, assignment, op)
+        assert got == expected
+        assert _bins_state(bins) == before
+
+
+# ----------------------------------------------------------------------
+# Resumed packing (the commit path)
+
+
+@pytest.mark.parametrize("archetype,seed", ARCHETYPE_SEEDS)
+def test_packer_repack_equals_fresh_bin_pack(archetype, seed):
+    rng = random.Random(seed)
+    dep = _dep(archetype, seed)
+    model = PartitionCostModel(dep, MACHINE, PartitionConfig())
+    assignment = {op.uid: Side.SCALAR for op in dep.loop.body}
+    packer = IncrementalPacker(model, assignment)
+    flippable = [op for op in dep.loop.body if dep.is_vectorizable(op)]
+    if not flippable:
+        pytest.skip("archetype generated no vectorizable ops")
+    for _ in range(12):
+        op = rng.choice(flippable)
+        assignment[op.uid] = assignment[op.uid].flipped()
+        cost = packer.repack(assignment)
+        reference = model.bin_pack(assignment)
+        assert packer.bins.weights == reference.weights
+        assert packer.bins.reservations == reference.reservations
+        assert cost == reference.high_water_mark()
+
+
+@pytest.mark.parametrize("archetype,seed", ARCHETYPE_SEEDS)
+def test_partition_verify_mode_passes(archetype, seed, monkeypatch):
+    """REPRO_KL_VERIFY=1 asserts the resumed pack against a reference
+    bin-pack after every accepted move of the real KL search."""
+    monkeypatch.setenv("REPRO_KL_VERIFY", "1")
+    dep = _dep(archetype, seed)
+    partition_operations(dep, MACHINE)
+
+
+# ----------------------------------------------------------------------
+# Probe cache
+
+
+@pytest.mark.parametrize("archetype,seed", ARCHETYPE_SEEDS)
+def test_probe_cache_changes_no_outcome(archetype, seed, monkeypatch):
+    dep = _dep(archetype, seed)
+    monkeypatch.setenv("REPRO_KL_PROBE_CACHE", "0")
+    plain = partition_operations(dep, MACHINE)
+    monkeypatch.setenv("REPRO_KL_PROBE_CACHE", "1")
+    cached = partition_operations(dep, MACHINE)
+    assert cached.assignment == plain.assignment
+    assert cached.cost == plain.cost
+    assert cached.history == plain.history
+    assert cached.moves == plain.moves
+    assert cached.moves_accepted == plain.moves_accepted
+    # Every cache hit replaces exactly one fresh probe.
+    assert cached.n_probes + cached.n_probe_cache_hits == plain.n_probes
+
+
+# ----------------------------------------------------------------------
+# Edge-delay table
+
+
+@pytest.mark.parametrize("archetype,seed", ARCHETYPE_SEEDS)
+def test_edge_delays_table_matches_per_edge(archetype, seed):
+    dep = _dep(archetype, seed)
+    delays = edge_delays(dep.graph, MACHINE)
+    assert set(delays) == set(dep.graph.edges)
+    for edge in dep.graph.edges:
+        assert delays[edge] == edge_delay(edge, dep.graph, MACHINE)
+
+
+# ----------------------------------------------------------------------
+# Evaluation harness: parallel and cached runs
+
+
+def _loop_signature(evaluator, names):
+    return evaluator.loop_metric_rows(names)
+
+
+def test_parallel_evaluator_matches_serial():
+    from repro.evaluation.experiments import Evaluator
+
+    names = ("101.tomcatv",)
+    serial = Evaluator()
+    parallel = Evaluator(jobs=2)
+    assert serial.table2(names) == parallel.table2(names)
+    assert _loop_signature(serial, names) == _loop_signature(parallel, names)
+    for key, t in serial.telemetry.items():
+        p = parallel.telemetry[key]
+        assert (t.kl_probes, t.kl_bin_packs, t.sched_attempts) == (
+            p.kl_probes,
+            p.kl_bin_packs,
+            p.sched_attempts,
+        )
+
+
+def test_compile_cache_cold_warm_identical(tmp_path):
+    from repro.evaluation.experiments import Evaluator
+
+    names = ("101.tomcatv",)
+    cache_dir = str(tmp_path / "ccache")
+    cold = Evaluator(compile_cache=cache_dir)
+    cold_data = cold.table2(names)
+    warm = Evaluator(compile_cache=cache_dir)
+    warm_data = warm.table2(names)
+    assert cold_data == warm_data
+    assert _loop_signature(cold, names) == _loop_signature(warm, names)
+    for key, t in cold.telemetry.items():
+        w = warm.telemetry[key]
+        assert t.cache_hits == 0 and t.cache_misses == t.loops
+        assert w.cache_hits == w.loops and w.cache_misses == 0
+        # Effort counters ride the cached objects: identical warm or cold.
+        assert (t.kl_probes, t.kl_bin_packs, t.kl_pack_steps) == (
+            w.kl_probes,
+            w.kl_bin_packs,
+            w.kl_pack_steps,
+        )
+
+
+def test_cache_key_invariant_to_uid_numbering():
+    from repro.compiler.strategies import Strategy
+    from repro.evaluation.compile_cache import cache_key
+    from repro.workloads.spec import build_benchmark
+
+    first = build_benchmark("101.tomcatv").loops[0].loop
+    second = build_benchmark("101.tomcatv").loops[0].loop
+    assert [op.uid for op in first.body] != [op.uid for op in second.body]
+    assert cache_key(first, MACHINE, Strategy.SELECTIVE) == cache_key(
+        second, MACHINE, Strategy.SELECTIVE
+    )
+    assert cache_key(first, MACHINE, Strategy.SELECTIVE) != cache_key(
+        first, MACHINE, Strategy.FULL
+    )
+
+
+def test_effort_gate_flags_counter_growth():
+    from repro.evaluation import bench_io
+
+    row = {
+        "loops": 1,
+        "kl_probes": 100,
+        "kl_bin_packs": 5,
+        "kl_iterations": 2,
+        "kl_repacks": 10,
+        "kl_pack_steps": 50,
+        "sched_attempts": 3,
+    }
+    base = {"table2": {"telemetry": {"b": {"selective": dict(row)}}}}
+    same = {"table2": {"telemetry": {"b": {"selective": dict(row)}}}}
+    assert bench_io.compare_effort(same, base) == []
+    worse_row = dict(row, kl_probes=101)
+    worse = {"table2": {"telemetry": {"b": {"selective": worse_row}}}}
+    regressions = bench_io.compare_effort(worse, base)
+    assert [r.metric for r in regressions] == [
+        "effort.b.selective.kl_probes"
+    ]
