@@ -78,6 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
         "partition reason codes, reservation tables, strategy verdicts",
     )
     parser.add_argument(
+        "--oracle",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="NODES",
+        help="certify the compiled result against the exact-optimality "
+        "oracle (branch-and-bound partition + exhaustive modulo "
+        "schedule); optional NODES overrides the search-node budget "
+        "(default: REPRO_ORACLE_BUDGET, then 200000). Combines with "
+        "--explain to add a certification section to the report",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print phase timings, search counters, and events after compiling",
@@ -105,12 +117,23 @@ def main(argv: list[str] | None = None) -> int:
     machine = MACHINES[args.machine]()
     strategy = Strategy(args.strategy)
 
+    oracle_budget = None
+    if args.oracle is not None:
+        from repro.oracle import OracleBudget
+
+        nodes = None if args.oracle == "default" else int(args.oracle)
+        oracle_budget = OracleBudget.from_env(override_nodes=nodes)
+
     if args.explain:
         from repro.compiler.explain import explain_loop
 
         print(
             explain_loop(
-                loop, machine, optimize=args.optimize, trip_count=args.trip
+                loop,
+                machine,
+                optimize=args.optimize,
+                trip_count=args.trip,
+                oracle_budget=oracle_budget,
             )
         )
         return 0
@@ -127,16 +150,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  [{verdict:>12}] {op}")
         print()
 
+    def certify(compiled):
+        if oracle_budget is None:
+            return None
+        from repro.oracle.gap import certify_compiled
+
+        return certify_compiled(loop, machine, compiled, budget=oracle_budget)
+
     recorder = None
     if args.stats or args.trace_json:
         with recording() as recorder:
             compiled = compile_loop(
                 loop, machine, strategy, optimize=args.optimize
             )
+            certificate = certify(compiled)
     else:
         compiled = compile_loop(
             loop, machine, strategy, optimize=args.optimize
         )
+        certificate = certify(compiled)
 
     if args.partition and compiled.partition is not None:
         p = compiled.partition
@@ -175,6 +207,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{compiled.invocation_cycles(args.trip)} cycles for "
         f"{args.trip} iterations"
     )
+
+    if certificate is not None:
+        from repro.oracle.gap import render_certificate
+
+        print()
+        print(render_certificate(certificate))
 
     if args.run:
         memory = memory_for_loop(loop, seed=42)

@@ -96,6 +96,14 @@ def render_explanation(
     for label, c in compiled.items():
         sections += _render_strategy(label, c, recorder)
         sections.append("")
+    certificates = recorder.events.remarks_for(
+        loop=loop.name, pass_name="oracle"
+    )
+    if certificates:
+        sections.append("== optimality certificates ==")
+        for r in certificates:
+            sections.append(f"  [{r.reason}] {r.message}")
+        sections.append("")
     verdicts = recorder.events.remarks_for(loop=loop.name, pass_name="driver")
     if verdicts:
         sections.append("== strategy comparison ==")
@@ -110,12 +118,26 @@ def explain_loop(
     strategies: tuple[Strategy, ...] | None = None,
     optimize: bool = False,
     trip_count: int | None = None,
+    oracle_budget=None,
 ) -> str:
-    """Compile ``loop`` under every strategy and explain the outcome."""
+    """Compile ``loop`` under every strategy and explain the outcome.
+
+    With ``oracle_budget`` (an :class:`repro.oracle.OracleBudget`), the
+    exact-optimality oracle certifies the selective compilation and the
+    report grows an "optimality certificates" section.
+    """
     if trip_count is not None and loop.trip_count is None:
         loop = dc_replace(loop, trip_count=trip_count)
     with recording() as recorder:
         compiled = compare_strategies(
             loop, machine, strategies or ALL_STRATEGIES, optimize=optimize
         )
+        if oracle_budget is not None:
+            from repro.oracle.gap import certify_compiled
+
+            selective = compiled.get(Strategy.SELECTIVE.value)
+            if selective is not None:
+                certify_compiled(
+                    loop, machine, selective, budget=oracle_budget
+                )
     return render_explanation(loop, compiled, recorder)

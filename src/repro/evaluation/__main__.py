@@ -13,7 +13,9 @@ artifact per experiment (disable with ``--no-bench-json``; redirect with
 checked-in baseline and exits nonzero on II or speedup regressions;
 ``--write-baseline PATH`` refreshes that baseline.  ``--explain LOOP``
 prints the II provenance report for one workload loop instead of
-running experiments.
+running experiments.  ``--oracle-gap`` runs the exact-optimality
+oracle harness (``BENCH_oracle_gap.json``) instead, exiting nonzero
+if a *certified* loop shows a heuristic gap.
 
 Compile-time fast paths (results are identical either way): ``--jobs N``
 fans loop compilations out to a process pool, ``--compile-cache DIR``
@@ -81,6 +83,24 @@ def explain_workload_loop(name: str) -> int:
     return 2
 
 
+def run_oracle_gap(args: argparse.Namespace) -> int:
+    """Run the optimality-gap harness and gate on certified gaps."""
+    from repro.oracle import OracleBudget
+    from repro.oracle.gap import oracle_gap_report, render_gap_table
+
+    budget = OracleBudget.from_env(override_nodes=args.oracle_budget)
+    start = time.time()
+    payload = oracle_gap_report(budget)
+    print(render_gap_table(payload))
+    print(f"[oracle_gap: {time.time() - start:.1f}s]")
+    if not args.no_bench_json:
+        path = bench_io.write_bench_json("oracle_gap", payload, args.bench_dir)
+        print(f"wrote {path}")
+    regressions = bench_io.oracle_gap_regressions(payload)
+    print(bench_io.render_oracle_gap_gate(regressions))
+    return 1 if regressions else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.evaluation",
@@ -106,6 +126,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="LOOP",
         help="print the II provenance report for one workload loop "
         "(e.g. 101.tomcatv.L0) instead of running experiments",
+    )
+    parser.add_argument(
+        "--oracle-gap",
+        action="store_true",
+        help="run the exact-optimality oracle over Figure 1 plus the "
+        "small-loop corpus subset instead of the table experiments: "
+        "write BENCH_oracle_gap.json and exit nonzero if any *certified* "
+        "loop shows a KL or II gap",
+    )
+    parser.add_argument(
+        "--oracle-budget",
+        type=int,
+        default=None,
+        metavar="NODES",
+        help="search-node budget per oracle invocation (default: "
+        "REPRO_ORACLE_BUDGET environment variable, then 200000)",
     )
     parser.add_argument(
         "--bench-dir",
@@ -173,6 +209,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.explain:
         return explain_workload_loop(args.explain)
+
+    if args.oracle_gap:
+        return run_oracle_gap(args)
 
     for experiment in args.experiments:
         if experiment not in EXPERIMENTS:

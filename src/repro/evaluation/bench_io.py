@@ -396,3 +396,50 @@ def render_effort_comparison(regressions: list[Regression]) -> str:
     lines = [f"effort gate: {len(regressions)} counter regression(s)"]
     lines += [f"  {r.render()}" for r in regressions]
     return "\n".join(lines)
+
+
+def oracle_gap_regressions(
+    payload: dict[str, object],
+) -> list[Regression]:
+    """The oracle-gap gate: on every loop the oracle *certified*, the
+    heuristics must match the exact optimum.
+
+    A certified partition with ``kl_gap > 0`` or a certified unit with
+    ``ii_gap > 0`` is a genuine heuristic shortfall (the oracle holds a
+    witness partition/schedule that beats the compiler's), reported as a
+    :class:`Regression` against a baseline of zero.  ``bounded`` and
+    ``timeout`` certificates never gate — they carry no refutation.
+    """
+    data = payload.get("data", {})
+    loops: dict[str, dict[str, object]] = data.get("loops", {})  # type: ignore[union-attr]
+    regressions: list[Regression] = []
+    for name, row in loops.items():
+        part = row.get("partition") or {}
+        if part.get("status") == "certified" and (part.get("kl_gap") or 0) > 0:
+            regressions.append(
+                Regression(
+                    experiment="oracle_gap",
+                    metric=f"{name}/kl_gap",
+                    baseline=0.0,
+                    current=float(part["kl_gap"]),
+                )
+            )
+        for unit, u in (row.get("units") or {}).items():
+            if u.get("status") == "certified" and (u.get("ii_gap") or 0) > 0:
+                regressions.append(
+                    Regression(
+                        experiment="oracle_gap",
+                        metric=f"{unit}/ii_gap",
+                        baseline=0.0,
+                        current=float(u["ii_gap"]),
+                    )
+                )
+    return regressions
+
+
+def render_oracle_gap_gate(regressions: list[Regression]) -> str:
+    if not regressions:
+        return "oracle gate: OK (zero gap on every certified loop)"
+    lines = [f"oracle gate: {len(regressions)} certified gap(s)"]
+    lines += [f"  {r.render()}" for r in regressions]
+    return "\n".join(lines)

@@ -583,6 +583,8 @@ def partition_operations(
             n_repacks=model.n_repacks,
             n_pack_steps=model.n_pack_steps,
         )
+        if verify and len(candidates) <= ORACLE_VERIFY_MAX_CANDIDATES:
+            _oracle_second_witness(dep, machine, config, result)
         if rec is not None:
             rec.count("kl.loops_partitioned")
             rec.count("kl.iterations", iterations)
@@ -607,6 +609,38 @@ def partition_operations(
             )
             _emit_placement_remarks(rec, dep, machine, config, model, result)
         return result
+
+
+#: ``REPRO_KL_VERIFY`` second witness: loops with at most this many
+#: candidate operations are re-solved exactly by the oracle each time.
+ORACLE_VERIFY_MAX_CANDIDATES = 12
+
+
+def _oracle_second_witness(dep, machine, config, result) -> None:
+    """Cross-check the KL cost against the branch-and-bound oracle.
+
+    Runs only under ``REPRO_KL_VERIFY=1`` on small loops.  The oracle is
+    started *cold* (no incumbent): a corrupted probe-cache/incremental
+    pack cost must not be allowed to prune away its own refutation.  A
+    KL cost below the oracle's sound lower bound can only mean the
+    incremental pack state diverged from a true bin-pack.
+    """
+    from repro.oracle import OracleBudget
+    from repro.oracle.exact_partition import exact_partition
+
+    oracle = exact_partition(
+        dep,
+        machine,
+        config,
+        budget=OracleBudget(max_nodes=50_000, max_seconds=2.0),
+        incumbent=None,
+    )
+    if result.cost < oracle.lower_bound:
+        raise AssertionError(
+            f"KL cost {result.cost} beats the oracle lower bound "
+            f"{oracle.lower_bound} in loop {dep.loop.name!r}: the "
+            "incremental pack cost is not a real partition cost"
+        )
 
 
 def _emit_placement_remarks(
