@@ -16,7 +16,7 @@ for selective, and a selective mean within a few percent of 1.11x.
 
 from conftest import pedantic
 
-from repro.evaluation.tables import PAPER_TABLE2, format_table2
+from repro.evaluation.tables import format_table2
 from repro.workloads.spec import BENCHMARK_NAMES
 
 

@@ -1,0 +1,112 @@
+"""Findings model for the translation-validation checkers.
+
+A :class:`CheckFinding` is one discharged-or-violated obligation: which
+stage checker raised it, a stable rule id (``S-DEP``, ``K-ROTIDX``, ...),
+a severity, the operation uids involved, and a human-readable message.
+A :class:`CheckReport` aggregates the findings for one compiled loop;
+``ok`` means no ERROR-severity finding survived.  Severity policy:
+
+* ``ERROR`` — a correctness obligation is violated; the artifact must
+  not ship (nonzero exit under ``--check``, raise under ``REPRO_CHECK``).
+* ``WARNING`` — suspicious but not provably wrong (e.g. a transfer or
+  merge with no deriving obligation); reported, never fatal.
+* ``INFO`` — a checker skipped ground it cannot re-derive (e.g. a
+  transform with no recorded source loop); reported for transparency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class CheckFinding:
+    """One checker verdict on one obligation."""
+
+    stage: str  # "vectorize" | "schedule" | "kernel"
+    rule: str  # stable rule id, e.g. "S-DEP"
+    severity: Severity
+    loop: str  # the (unit) loop the finding is about
+    uids: tuple[int, ...]  # operation uids involved (may be empty)
+    message: str
+
+    def render(self) -> str:
+        where = f" (uids {', '.join(map(str, self.uids))})" if self.uids else ""
+        return (
+            f"[{self.severity.value.upper()} {self.rule}] "
+            f"{self.loop}: {self.message}{where}"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "stage": self.stage,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "loop": self.loop,
+            "uids": list(self.uids),
+            "message": self.message,
+        }
+
+
+@dataclass
+class CheckReport:
+    """All findings for one compiled loop (every unit, every stage)."""
+
+    loop: str
+    strategy: str
+    findings: list[CheckFinding] = field(default_factory=list)
+    units_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors()
+
+    def errors(self) -> list[CheckFinding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def sorted_findings(self) -> list[CheckFinding]:
+        return sorted(
+            self.findings, key=lambda f: (f.severity.rank, f.stage, f.rule)
+        )
+
+    def summary(self) -> str:
+        errors = len(self.errors())
+        status = "OK" if errors == 0 else f"{errors} ERROR(s)"
+        return (
+            f"check {self.loop} [{self.strategy}]: {status} "
+            f"({len(self.findings)} finding(s), "
+            f"{self.units_checked} unit(s) checked)"
+        )
+
+    def render_text(self) -> str:
+        lines = [self.summary()]
+        lines += [f"  {f.render()}" for f in self.sorted_findings()]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "loop": self.loop,
+            "strategy": self.strategy,
+            "ok": self.ok,
+            "units_checked": self.units_checked,
+            "findings": [f.to_json() for f in self.sorted_findings()],
+        }
+
+
+class TranslationValidationError(RuntimeError):
+    """A compiled artifact failed translation validation (``REPRO_CHECK``)."""
+
+    def __init__(self, report: CheckReport):
+        self.report = report
+        super().__init__(report.render_text())

@@ -1,0 +1,347 @@
+"""Independent validation of MVE, register allocation, and kernel codegen.
+
+The checker re-derives value lifetimes from the schedule and a freshly
+rebuilt dependence graph, then counts simultaneously live copies per
+kernel row by direct enumeration (how many absolute cycles of the
+lifetime land on this row) rather than the allocator's ceiling
+arithmetic.  It verifies the reported MaxLive matches, that no file
+overflows its capacity (two live values would have to share a physical
+register), that every expanded name's lifetime fits in II·copies, that
+rotating indices are unique per file, that spill code keeps each reload
+reachable from its store, and that kernel-only code places every
+operation in its stage and row with rotation offsets that resolve each
+operand to the defining iteration's value.
+
+Rules: K-ALLOC, K-PRESSURE, K-MVE, K-ROTIDX, K-SPILL, K-KERNELONLY.
+"""
+
+from __future__ import annotations
+
+from repro.check.findings import CheckFinding, Severity
+from repro.dependence.analysis import build_dependence_graph
+from repro.dependence.graph import DependenceGraph, DepKind, Via
+from repro.ir.loop import Loop
+from repro.ir.operations import OpKind, Operation
+from repro.ir.values import Constant, VirtualRegister
+from repro.pipeline.codegen import RotatingRef, generate_kernel_only_code
+from repro.pipeline.mve import modulo_variable_expansion
+from repro.pipeline.scheduler import ModuloSchedule
+from repro.regalloc.allocator import (
+    _CAPACITY_ATTR,
+    AllocationResult,
+    register_file_of,
+)
+from repro.regalloc.spill import SPILL_PREFIX
+
+STAGE = "kernel"
+
+
+def _derive_lifetimes(
+    schedule: ModuloSchedule, graph: DependenceGraph
+) -> dict[VirtualRegister, tuple[int, int]]:
+    """Re-derive [def, last-use) for every defined value: issue cycle to
+    the latest register/carried flow consumer read (offset by II per
+    distance), at least the producer's own latency."""
+    loop = schedule.loop
+    machine = schedule.machine
+    ii = schedule.ii
+    lifetimes: dict[VirtualRegister, tuple[int, int]] = {}
+    for op in loop.body:
+        if op.dest is None or op.uid not in schedule.times:
+            continue
+        start = schedule.times[op.uid]
+        end = start + max(1, machine.opcode_info(op).latency)
+        for edge in graph.successors(op.uid):
+            if edge.kind is not DepKind.FLOW:
+                continue
+            if edge.via not in (Via.REGISTER, Via.CARRIED):
+                continue
+            if edge.dst not in schedule.times:
+                continue
+            end = max(end, schedule.times[edge.dst] + ii * edge.distance + 1)
+        lifetimes[op.dest] = (start, end)
+    return lifetimes
+
+
+def _copies_on_row(start: int, end: int, row: int, ii: int) -> int:
+    """Live copies of a value on kernel row ``row``: count the absolute
+    cycles of [start, end) congruent to ``row`` mod II — one iteration's
+    copy per such cycle in steady state."""
+    return sum(1 for t in range(start, end) if t % ii == row)
+
+
+def check_kernel(
+    schedule: ModuloSchedule, allocation: AllocationResult
+) -> list[CheckFinding]:
+    """Re-derive every allocation and codegen obligation and verify it."""
+    loop = schedule.loop
+    machine = schedule.machine
+    ii = schedule.ii
+    findings: list[CheckFinding] = []
+
+    def finding(rule: str, severity: Severity, uids: tuple[int, ...], msg: str) -> None:
+        findings.append(CheckFinding(STAGE, rule, severity, loop.name, uids, msg))
+
+    graph = build_dependence_graph(loop)
+    lifetimes = _derive_lifetimes(schedule, graph)
+
+    # Mirror the allocator's live-out rule: the epilogue must still read
+    # these values, so their lifetime spans at least one extra stage.
+    extended = dict(lifetimes)
+    for reg in loop.live_out:
+        if reg in extended:
+            start, end = extended[reg]
+            extended[reg] = (start, max(end, start + ii + 1))
+
+    # K-MVE: each expanded name's lifetime fits within II·copies and the
+    # unroll factor covers the deepest expansion.
+    mve = modulo_variable_expansion(schedule, graph)
+    for reg, (start, end) in lifetimes.items():
+        copies = mve.copies_per_value.get(reg)
+        if copies is None:
+            finding(
+                "K-MVE", Severity.ERROR, (),
+                f"value {reg.name} has a lifetime but no MVE copy count",
+            )
+            continue
+        if end - start > ii * copies:
+            finding(
+                "K-MVE", Severity.ERROR, (),
+                f"lifetime of {reg.name} is {end - start} cycles but "
+                f"{copies} MVE copies cover only II·copies = {ii * copies}",
+            )
+        if copies > mve.unroll:
+            finding(
+                "K-MVE", Severity.ERROR, (),
+                f"{reg.name} needs {copies} copies but the kernel is "
+                f"unrolled only {mve.unroll}x",
+            )
+
+    # K-PRESSURE / K-ALLOC: independent MaxLive per file.
+    derived: dict[str, int] = {}
+    for row in range(ii):
+        live_now: dict[str, int] = {}
+        for reg, (start, end) in extended.items():
+            copies = _copies_on_row(start, end, row, ii)
+            if copies:
+                file = register_file_of(reg)
+                live_now[file] = live_now.get(file, 0) + copies
+        for file, count in live_now.items():
+            derived[file] = max(derived.get(file, 0), count)
+    # Persistent pins: never-redefined carried entries and preheader
+    # definitions each occupy one register for the whole invocation.
+    body_defs = {op.dest for op in loop.body if op.dest is not None}
+    for c in loop.carried:
+        if c.exit == c.entry or c.exit not in body_defs:
+            file = register_file_of(c.entry)
+            derived[file] = derived.get(file, 0) + 1
+    for op in loop.preheader:
+        if op.dest is not None:
+            file = register_file_of(op.dest)
+            derived[file] = derived.get(file, 0) + 1
+
+    files = set(derived) | set(allocation.pressures)
+    for file in sorted(files):
+        want = derived.get(file, 0)
+        have = allocation.pressure(file)
+        if want != have:
+            finding(
+                "K-PRESSURE", Severity.ERROR, (),
+                f"register file {file}: allocator reports MaxLive {have} "
+                f"but re-derivation finds {want}",
+            )
+        capacity = getattr(machine.register_files, _CAPACITY_ATTR[file])
+        if want > capacity:
+            finding(
+                "K-ALLOC", Severity.ERROR, (),
+                f"register file {file} needs {want} simultaneously live "
+                f"values but holds {capacity}: two live values would "
+                f"share a physical register",
+            )
+
+    # K-ROTIDX: rotating indices are unique within a file and cover
+    # every value with a lifetime.
+    file_of_name = {reg.name: register_file_of(reg) for reg in lifetimes}
+    seen: dict[tuple[str, int], str] = {}
+    for name, index in sorted(allocation.rotating_indices.items()):
+        file = file_of_name.get(name)
+        if file is None:
+            finding(
+                "K-ROTIDX", Severity.WARNING, (),
+                f"rotating index assigned to unknown value {name}",
+            )
+            continue
+        key = (file, index)
+        if key in seen:
+            finding(
+                "K-ROTIDX", Severity.ERROR, (),
+                f"values {seen[key]} and {name} share rotating base "
+                f"{index} in file {file}",
+            )
+        seen[key] = name
+    for name in sorted(file_of_name):
+        if name not in allocation.rotating_indices:
+            finding(
+                "K-ROTIDX", Severity.ERROR, (),
+                f"value {name} has a lifetime but no rotating index",
+            )
+
+    findings.extend(_check_spills(loop))
+    findings.extend(_check_kernel_only(schedule, graph))
+    return findings
+
+
+def _check_spills(loop: Loop) -> list[CheckFinding]:
+    """K-SPILL: every reload from a spill slot is preceded (in body
+    order, i.e. same-iteration dataflow order) by exactly one store to
+    that slot, so the reload observes the spilled definition."""
+    findings: list[CheckFinding] = []
+    store_at: dict[str, list[int]] = {}
+    for index, op in enumerate(loop.body):
+        if op.kind is OpKind.STORE and (op.array or "").startswith(SPILL_PREFIX):
+            store_at.setdefault(op.array, []).append(index)
+    for array, positions in sorted(store_at.items()):
+        if len(positions) > 1:
+            findings.append(
+                CheckFinding(
+                    STAGE, "K-SPILL", Severity.ERROR, loop.name, (),
+                    f"spill slot {array} is stored {len(positions)} times; "
+                    f"later stores clobber the spilled value",
+                )
+            )
+    for index, op in enumerate(loop.body):
+        if op.kind is not OpKind.LOAD:
+            continue
+        array = op.array or ""
+        if not array.startswith(SPILL_PREFIX):
+            continue
+        stores = store_at.get(array, [])
+        if not stores or min(stores) > index:
+            findings.append(
+                CheckFinding(
+                    STAGE, "K-SPILL", Severity.ERROR, loop.name, (op.uid,),
+                    f"reload from {array} has no earlier store: the "
+                    f"spilled definition cannot reach it",
+                )
+            )
+    return findings
+
+
+def _check_kernel_only(
+    schedule: ModuloSchedule, graph: DependenceGraph
+) -> list[CheckFinding]:
+    """K-KERNELONLY: regenerate kernel-only code and verify stage
+    predicates and rotation offsets against independently derived
+    producer stages."""
+    loop = schedule.loop
+    ii = schedule.ii
+    findings: list[CheckFinding] = []
+
+    def finding(uids: tuple[int, ...], msg: str) -> None:
+        findings.append(
+            CheckFinding(STAGE, "K-KERNELONLY", Severity.ERROR, loop.name, uids, msg)
+        )
+
+    try:
+        code = generate_kernel_only_code(schedule, graph)
+    except ValueError as exc:
+        finding((), f"kernel-only code generation failed: {exc}")
+        return findings
+
+    producer_of: dict[VirtualRegister, Operation] = {
+        op.dest: op for op in loop.body if op.dest is not None
+    }
+    carried_producer: dict[VirtualRegister, Operation] = {}
+    for c in loop.carried:
+        if isinstance(c.exit, VirtualRegister) and c.exit in producer_of:
+            carried_producer[c.entry] = producer_of[c.exit]
+
+    placed: set[int] = set()
+    for row_index, row in enumerate(code.rows):
+        for pop in row:
+            op = pop.op
+            placed.add(op.uid)
+            if op.uid not in schedule.times:
+                finding((op.uid,), "kernel-only op is not in the schedule")
+                continue
+            want_stage = schedule.stage_of(op.uid)
+            if pop.stage != want_stage:
+                finding(
+                    (op.uid,),
+                    f"stage predicate p{pop.stage} but operation issues "
+                    f"in stage {want_stage}",
+                )
+            want_row = schedule.times[op.uid] % ii
+            if row_index != want_row:
+                finding(
+                    (op.uid,),
+                    f"placed in kernel row {row_index} but scheduled "
+                    f"cycle {schedule.times[op.uid]} maps to row {want_row}",
+                )
+            findings.extend(
+                _check_operand_refs(
+                    schedule, op, pop.srcs, producer_of, carried_producer
+                )
+            )
+    missing = {op.uid for op in loop.body} - placed
+    for uid in sorted(missing):
+        finding((uid,), "body operation missing from kernel-only code")
+    return findings
+
+
+def _check_operand_refs(
+    schedule: ModuloSchedule,
+    op: Operation,
+    refs: tuple[object, ...],
+    producer_of: dict[VirtualRegister, Operation],
+    carried_producer: dict[VirtualRegister, Operation],
+) -> list[CheckFinding]:
+    loop = schedule.loop
+    findings: list[CheckFinding] = []
+
+    def finding(msg: str) -> None:
+        findings.append(
+            CheckFinding(
+                STAGE, "K-KERNELONLY", Severity.ERROR, loop.name, (op.uid,), msg
+            )
+        )
+
+    if len(refs) != len(op.srcs):
+        finding(
+            f"kernel-only op renders {len(refs)} operands "
+            f"for {len(op.srcs)} sources"
+        )
+        return findings
+    consumer_stage = schedule.stage_of(op.uid)
+    for src, ref in zip(op.srcs, refs):
+        if isinstance(src, Constant):
+            continue
+        assert isinstance(src, VirtualRegister)
+        if src in producer_of:
+            producer, distance = producer_of[src], 0
+        elif src in carried_producer:
+            producer, distance = carried_producer[src], 1
+        else:
+            # Loop invariant: must stay a static (non-rotating) operand.
+            if isinstance(ref, RotatingRef):
+                finding(
+                    f"invariant operand {src.name} rendered as rotating "
+                    f"reference {ref.render()}"
+                )
+            continue
+        want_offset = consumer_stage + distance - schedule.stage_of(producer.uid)
+        want_file = register_file_of(producer.dest)
+        if not isinstance(ref, RotatingRef):
+            finding(
+                f"operand {src.name} (defined by uid {producer.uid}) "
+                f"is not a rotating reference"
+            )
+            continue
+        if ref.offset != want_offset or ref.file != want_file:
+            finding(
+                f"operand {src.name} resolves to {ref.render()} but the "
+                f"defining iteration's value is {want_file}[·+{want_offset}] "
+                f"(consumer stage {consumer_stage}, producer stage "
+                f"{schedule.stage_of(producer.uid)}, distance {distance})"
+            )
+    return findings

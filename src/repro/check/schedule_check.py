@@ -1,0 +1,170 @@
+"""Independent validation of a modulo schedule.
+
+The checker rebuilds the dependence graph from the scheduled loop's IR,
+applies its own delay rule, and verifies every edge against the modulo
+constraint ``σ(cons) + II·distance ≥ σ(prod) + delay``.  Resource
+legality is re-derived from the machine model: each operation's
+reservations are re-expanded into modulo rows (multi-cycle reservations
+wrap around the kernel), aggregate occupancy is checked against class
+capacity per row, and — when any reservation spans more than one cycle —
+a backtracking binder proves the demands can actually be assigned to
+concrete resource instances.  Nothing from the scheduler's own
+bookkeeping (its ``ModuloReservationTable``, its internal re-check) is
+reused.
+
+Rules: S-COMPLETE, S-DEP, S-RES-CAP, S-RES-BIND.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.check.findings import CheckFinding, Severity
+from repro.dependence.analysis import build_dependence_graph
+from repro.dependence.graph import DepEdge, DependenceGraph, DepKind
+from repro.pipeline.scheduler import ModuloSchedule
+
+STAGE = "schedule"
+
+
+def _edge_delay(
+    schedule: ModuloSchedule, graph: DependenceGraph, edge: DepEdge
+) -> int:
+    """The checker's own delay rule: a flow consumer waits for the
+    producer's full latency; an anti dependence permits same-cycle
+    issue on a statically scheduled machine; output and control
+    dependences require strict ordering (one cycle)."""
+    if edge.kind is DepKind.FLOW:
+        return schedule.machine.opcode_info(graph.ops[edge.src]).latency
+    if edge.kind is DepKind.ANTI:
+        return 0
+    return 1
+
+
+def check_schedule(schedule: ModuloSchedule) -> list[CheckFinding]:
+    """Re-derive every scheduling obligation and verify it holds."""
+    loop = schedule.loop
+    machine = schedule.machine
+    ii = schedule.ii
+    times = schedule.times
+    findings: list[CheckFinding] = []
+
+    def finding(rule: str, severity: Severity, uids: tuple[int, ...], msg: str) -> None:
+        findings.append(CheckFinding(STAGE, rule, severity, loop.name, uids, msg))
+
+    # S-COMPLETE: the schedule covers the body exactly, at sane cycles.
+    body_uids = {op.uid for op in loop.body}
+    for uid in sorted(body_uids - set(times)):
+        finding(
+            "S-COMPLETE", Severity.ERROR, (uid,),
+            "body operation has no scheduled cycle",
+        )
+    for uid in sorted(set(times) - body_uids):
+        finding(
+            "S-COMPLETE", Severity.ERROR, (uid,),
+            "schedule assigns a cycle to an operation not in the body",
+        )
+    for uid, t in sorted(times.items()):
+        if t < 0:
+            finding(
+                "S-COMPLETE", Severity.ERROR, (uid,),
+                f"operation scheduled at negative cycle {t}",
+            )
+    if ii < 1:
+        finding("S-COMPLETE", Severity.ERROR, (), f"II must be >= 1, got {ii}")
+        return findings
+
+    # S-DEP: every dependence edge of a freshly rebuilt graph honors the
+    # modulo constraint under the checker's own delay rule.
+    graph = build_dependence_graph(loop)
+    for edge in graph.edges:
+        if edge.src not in times or edge.dst not in times:
+            continue  # S-COMPLETE already reported the hole
+        delay = _edge_delay(schedule, graph, edge)
+        slack = times[edge.dst] + ii * edge.distance - times[edge.src] - delay
+        if slack < 0:
+            finding(
+                "S-DEP", Severity.ERROR, (edge.src, edge.dst),
+                f"dependence violated: {edge} needs "
+                f"σ({edge.dst}) + {ii}·{edge.distance} ≥ "
+                f"σ({edge.src}) + {delay}, have "
+                f"{times[edge.dst]} + {ii * edge.distance} vs "
+                f"{times[edge.src]} + {delay}",
+            )
+
+    # Re-expand every reservation into kernel rows, from the machine
+    # model alone.  demands[class] = [(uid, {rows})].
+    demands: dict[str, list[tuple[int, frozenset[int]]]] = defaultdict(list)
+    multi_cycle: set[str] = set()
+    for op in loop.body:
+        if op.uid not in times:
+            continue
+        for use in machine.opcode_info(op).uses:
+            if use.cycles > ii:
+                finding(
+                    "S-RES-CAP", Severity.ERROR, (op.uid,),
+                    f"reservation of {use.resource} for {use.cycles} cycles "
+                    f"cannot fit in a kernel of II {ii}",
+                )
+                continue
+            rows = frozenset((times[op.uid] + k) % ii for k in range(use.cycles))
+            demands[use.resource].append((op.uid, rows))
+            if use.cycles > 1:
+                multi_cycle.add(use.resource)
+
+    # S-RES-CAP: aggregate occupancy per (class, row) within capacity.
+    for resource, uses in sorted(demands.items()):
+        count = machine.resource_class(resource).count
+        per_row: dict[int, list[int]] = defaultdict(list)
+        for uid, rows in uses:
+            for row in rows:
+                per_row[row].append(uid)
+        overfull = False
+        for row, holders in sorted(per_row.items()):
+            if len(holders) > count:
+                overfull = True
+                finding(
+                    "S-RES-CAP", Severity.ERROR, tuple(sorted(holders)),
+                    f"kernel row {row} reserves {resource} "
+                    f"{len(holders)} times but the machine has {count}",
+                )
+        # S-RES-BIND: with multi-cycle reservations, row-wise capacity is
+        # necessary but not sufficient — prove an instance assignment
+        # exists (each instance's rows pairwise disjoint).
+        if not overfull and resource in multi_cycle:
+            if not _bindable([rows for _, rows in uses], count):
+                finding(
+                    "S-RES-BIND", Severity.ERROR,
+                    tuple(sorted(uid for uid, _ in uses)),
+                    f"reservations of {resource} fit per-row capacity but "
+                    f"cannot be bound to {count} concrete instance(s) "
+                    f"without overlap",
+                )
+    return findings
+
+
+def _bindable(demand_rows: list[frozenset[int]], count: int) -> bool:
+    """Can the demands be partitioned into ``count`` groups whose row
+    sets are pairwise disjoint within each group?  Backtracking with a
+    symmetry prune (identical instance states are tried once)."""
+    ordered = sorted(demand_rows, key=len, reverse=True)
+    instances: list[set[int]] = [set() for _ in range(count)]
+
+    def place(i: int) -> bool:
+        if i == len(ordered):
+            return True
+        tried: set[frozenset[int]] = set()
+        for inst in instances:
+            if inst & ordered[i]:
+                continue
+            signature = frozenset(inst)
+            if signature in tried:
+                continue
+            tried.add(signature)
+            inst |= ordered[i]
+            if place(i + 1):
+                return True
+            inst -= ordered[i]
+        return False
+
+    return place(0)

@@ -1,0 +1,272 @@
+"""Independent validation of the vectorizing transformation.
+
+The checker starts from the *original* loop the transform consumed
+(``TransformResult.source``), re-runs dependence analysis on it, and
+reconstructs the scalar/vector partition from the emitted operations'
+``origin`` tags — it never looks at the partitioner's assignment.  It
+then verifies partition legality (no vectorized operation sits on an
+unbroken dependence cycle at the vector length, every vectorized kind
+and access shape is vectorizable), that every original operation is
+realized (a vector op, or one scalar replica per lane), that every
+scalar↔vector crossing edge implied by the reconstructed partition has
+a matching materialized transfer (scratch-array pack/unpack sequences
+or PACK/EXTRACT ops, per the machine's communication model), and that
+an alignment merge appears wherever the alignment analysis declares a
+vectorized memory reference misaligned.
+
+Rules: V-SOURCE, V-KIND, V-CYCLE, V-COVER, V-TRANSFER, V-ALIGN.
+"""
+
+from __future__ import annotations
+
+from repro.check.findings import CheckFinding, Severity
+from repro.dependence.analysis import analyze_loop, build_dependence_graph
+from repro.dependence.graph import DependenceGraph
+from repro.ir.loop import Loop
+from repro.ir.operations import OpKind, Operation
+from repro.machine.machine import CommunicationModel, MachineDescription
+from repro.vectorize.alignment import reference_is_misaligned
+from repro.vectorize.communication import Side, Transfer, dataflow_of, transfers_for
+from repro.vectorize.transform import SCRATCH_PREFIX, TransformResult
+
+STAGE = "vectorize"
+
+# The checker's own notion of vectorizable operation kinds (kept
+# independent of repro.dependence.analysis._VECTORIZABLE_KINDS).
+_CHECK_VECTORIZABLE = frozenset(
+    {
+        OpKind.ADD,
+        OpKind.SUB,
+        OpKind.MUL,
+        OpKind.DIV,
+        OpKind.NEG,
+        OpKind.ABS,
+        OpKind.MIN,
+        OpKind.MAX,
+        OpKind.SQRT,
+        OpKind.COPY,
+        OpKind.CVT,
+        OpKind.LOAD,
+        OpKind.STORE,
+    }
+)
+
+
+def check_vectorize(
+    transform: TransformResult, machine: MachineDescription
+) -> list[CheckFinding]:
+    """Re-derive the transform's obligations from its source loop."""
+    emitted = transform.loop
+    source = transform.source
+    if source is None:
+        return [
+            CheckFinding(
+                STAGE, "V-SOURCE", Severity.INFO, emitted.name, (),
+                "transform records no source loop; vectorize-stage "
+                "obligations cannot be re-derived (schedule and kernel "
+                "checks still apply)",
+            )
+        ]
+    findings: list[CheckFinding] = []
+
+    def finding(rule: str, severity: Severity, uids: tuple[int, ...], msg: str) -> None:
+        findings.append(CheckFinding(STAGE, rule, severity, emitted.name, uids, msg))
+
+    factor = transform.factor
+    orig = {op.uid: op for op in source.body}
+
+    # Reconstruct the partition from origin tags: an original operation
+    # was vectorized iff an emitted vector op of the same kind carries
+    # its uid (misaligned references also emit MERGE ops under the same
+    # origin; the kind match skips those).
+    vector_uids = {
+        e.origin
+        for e in emitted.body
+        if e.is_vector and e.origin in orig and e.kind == orig[e.origin].kind
+    }
+
+    # V-COVER: every original operation is realized in the emitted loop.
+    for uid, op in sorted(orig.items()):
+        if uid in vector_uids:
+            continue
+        lanes = {
+            e.lane
+            for e in emitted.body
+            if e.origin == uid and not e.is_vector and e.lane is not None
+        }
+        if lanes != set(range(factor)):
+            missing = sorted(set(range(factor)) - lanes)
+            finding(
+                "V-COVER", Severity.ERROR, (uid,),
+                f"scalar operation must be replicated for lanes "
+                f"0..{factor - 1}, missing lanes {missing}",
+            )
+
+    # V-KIND: vectorized operations are vectorizable by kind and shape.
+    for uid in sorted(vector_uids):
+        op = orig[uid]
+        if op.kind not in _CHECK_VECTORIZABLE:
+            finding(
+                "V-KIND", Severity.ERROR, (uid,),
+                f"operation kind {op.kind.value} is not vectorizable",
+            )
+        if op.kind.is_memory:
+            assert op.subscript is not None
+            if not op.subscript.is_unit_stride:
+                finding(
+                    "V-KIND", Severity.ERROR, (uid,),
+                    f"vectorized memory reference {op.array}{op.subscript} "
+                    f"is not unit-stride",
+                )
+
+    # V-CYCLE: no vectorized op on an unbroken dependence cycle at the
+    # vector length — re-derived with the checker's own reachability
+    # walk over a freshly built graph.
+    graph = build_dependence_graph(source)
+    reported_sccs: set[frozenset[int]] = set()
+    for uid in sorted(vector_uids):
+        forward = _reachable(graph, uid, forward=True)
+        if uid not in forward:
+            continue  # not on any cycle
+        members = frozenset(
+            {uid} | (forward & _reachable(graph, uid, forward=False))
+        )
+        if members in reported_sccs:
+            continue
+        reported_sccs.add(members)
+        for member in members:
+            for edge in graph.successors(member):
+                if edge.dst not in members:
+                    continue
+                if not edge.exact or 1 <= edge.distance < factor:
+                    finding(
+                        "V-CYCLE", Severity.ERROR, (edge.src, edge.dst),
+                        f"vectorized operation {uid} sits on a dependence "
+                        f"cycle unbroken at vector length {factor}: "
+                        f"{edge}",
+                    )
+
+    # V-TRANSFER: every crossing edge implied by the reconstructed
+    # partition has a materialized transfer.
+    dep = analyze_loop(source, machine.vector_length)
+    assignment = {
+        uid: (Side.VECTOR if uid in vector_uids else Side.SCALAR) for uid in orig
+    }
+    for transfer in transfers_for(dataflow_of(dep), assignment):
+        problem = _transfer_missing(emitted, machine, orig, transfer, factor)
+        if problem is not None:
+            uids = (transfer.key,) if isinstance(transfer.key, int) else ()
+            finding(
+                "V-TRANSFER", Severity.ERROR, uids,
+                f"{transfer} required by the partition but {problem}",
+            )
+
+    # V-ALIGN: declared-misaligned vectorized memory references carry a
+    # realignment merge.
+    for uid in sorted(vector_uids):
+        op = orig[uid]
+        if not op.kind.is_memory:
+            continue
+        if not machine.needs_alignment_merges:
+            continue
+        if not reference_is_misaligned(machine, source, op):
+            continue
+        merges = [
+            e
+            for e in emitted.body
+            if e.kind is OpKind.MERGE and e.origin == uid and e.is_vector
+        ]
+        if not merges:
+            finding(
+                "V-ALIGN", Severity.ERROR, (uid,),
+                f"alignment analysis declares {op.array}{op.subscript} "
+                f"misaligned but no realignment MERGE was emitted",
+            )
+    return findings
+
+
+def _reachable(graph: DependenceGraph, start: int, *, forward: bool) -> set[int]:
+    """Nodes reachable from ``start`` along >= 1 edge (``start`` itself
+    is included only if it lies on a cycle)."""
+    seen: set[int] = set()
+    frontier = [
+        (e.dst if forward else e.src)
+        for e in (graph.successors(start) if forward else graph.predecessors(start))
+    ]
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        edges = graph.successors(node) if forward else graph.predecessors(node)
+        frontier.extend(e.dst if forward else e.src for e in edges)
+    return seen
+
+
+def _transfer_missing(
+    emitted: Loop,
+    machine: MachineDescription,
+    orig: dict[int, Operation],
+    transfer: Transfer,
+    factor: int,
+) -> str | None:
+    """None when the transfer is materialized in the emitted body, else
+    a description of what is missing."""
+    if isinstance(transfer.key, int):
+        producer = orig[transfer.key]
+        assert producer.dest is not None
+        name = producer.dest.name
+    else:
+        name = transfer.key[1]
+
+    body = emitted.body
+    if machine.communication is CommunicationModel.FREE:
+        if transfer.to_vector:
+            packs = [
+                e
+                for e in body
+                if e.kind is OpKind.PACK
+                and e.dest is not None
+                and e.dest.name == f"{name}.pk"
+            ]
+            if not packs:
+                return f"no PACK producing {name}.pk found"
+            return None
+        extracts = [
+            e
+            for e in body
+            if e.kind is OpKind.EXTRACT
+            and e.dest is not None
+            and e.dest.name.startswith(f"{name}.up")
+        ]
+        if len(extracts) < factor:
+            return (
+                f"only {len(extracts)} EXTRACT(s) of {name} found, "
+                f"need {factor}"
+            )
+        return None
+
+    array = f"{SCRATCH_PREFIX}{name}"
+    stores = [e for e in body if e.kind is OpKind.STORE and e.array == array]
+    loads = [e for e in body if e.kind is OpKind.LOAD and e.array == array]
+    if transfer.to_vector:
+        scalar_stores = [e for e in stores if not e.is_vector]
+        vector_loads = [e for e in loads if e.is_vector]
+        if len(scalar_stores) < factor:
+            return (
+                f"only {len(scalar_stores)} scalar store(s) to {array} "
+                f"found, need {factor}"
+            )
+        if not vector_loads:
+            return f"no vector load from {array} found"
+        return None
+    vector_stores = [e for e in stores if e.is_vector]
+    scalar_loads = [e for e in loads if not e.is_vector]
+    if not vector_stores:
+        return f"no vector store to {array} found"
+    if len(scalar_loads) < factor:
+        return (
+            f"only {len(scalar_loads)} scalar load(s) from {array} "
+            f"found, need {factor}"
+        )
+    return None

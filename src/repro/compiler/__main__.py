@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain to add a certification section to the report",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run translation validation over the compiled result (the "
+        "independent stage checkers re-derive every dependence, "
+        "resource, and allocation obligation) and exit nonzero on any "
+        "ERROR finding. With --explain, adds a validation section",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print phase timings, search counters, and events after compiling",
@@ -134,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
                 optimize=args.optimize,
                 trip_count=args.trip,
                 oracle_budget=oracle_budget,
+                check=args.check,
             )
         )
         return 0
@@ -214,6 +223,15 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_certificate(certificate))
 
+    check_failed = False
+    if args.check:
+        from repro.compiler.driver import run_translation_checks
+
+        report = run_translation_checks(compiled)
+        print()
+        print(report.render_text())
+        check_failed = not report.ok
+
     if args.run:
         memory = memory_for_loop(loop, seed=42)
         result = compiled.execute(memory, args.trip)
@@ -229,7 +247,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_json:
             write_trace(recorder, args.trace_json)
             print(f"\nwrote trace to {args.trace_json}")
-    return 0
+    return 1 if check_failed else 0
 
 
 if __name__ == "__main__":

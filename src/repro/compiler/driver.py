@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dependence.analysis import LoopDependence, analyze_loop
+from repro.dependence.analysis import analyze_loop
 from repro.interp.interpreter import run_loop
 from repro.interp.memory import MemoryImage
 from repro.ir.loop import Loop
@@ -75,6 +75,9 @@ class CompiledLoop:
     strategy: Strategy
     units: list[CompiledUnit]
     partition: PartitionResult | None = None
+    # Translation-validation telemetry (populated by run_translation_checks).
+    check_ms: float = 0.0
+    check_findings: int = 0
 
     def invocation_cycles(self, trip_count: int) -> int:
         return aggregate_cycles([u.timing for u in self.units], trip_count)
@@ -289,7 +292,63 @@ def _compile_unit(
         )
 
 
+def check_env_enabled() -> bool:
+    """Whether ``REPRO_CHECK`` requests in-process translation validation."""
+    import os
+
+    return os.environ.get("REPRO_CHECK", "") not in ("", "0")
+
+
+def run_translation_checks(
+    compiled: CompiledLoop, *, raise_on_error: bool = False
+):
+    """Run the translation-validation checkers over ``compiled``.
+
+    Observe-only with respect to compilation state: the checkers read
+    the units, they never mutate them.  Records wall-time and finding
+    count on the compiled loop for telemetry, and optionally raises
+    :class:`~repro.check.TranslationValidationError` on any ERROR.
+    """
+    import time
+
+    from repro.check import TranslationValidationError, run_all_checks
+
+    start = time.perf_counter()
+    report = run_all_checks(compiled)
+    compiled.check_ms = (time.perf_counter() - start) * 1000.0
+    compiled.check_findings = len(report.findings)
+    if raise_on_error and not report.ok:
+        raise TranslationValidationError(report)
+    return report
+
+
 def compile_loop(
+    loop: Loop,
+    machine: MachineDescription,
+    strategy: Strategy,
+    partition_config: PartitionConfig | None = None,
+    baseline_unroll: int | None = None,
+    optimize: bool = False,
+    allow_reassociation: bool = False,
+) -> CompiledLoop:
+    """Compile ``loop`` under ``strategy`` for ``machine``; with
+    ``REPRO_CHECK`` set, validate the result in-process and raise on
+    any ERROR finding.  See :func:`_compile_loop` for the parameters."""
+    compiled = _compile_loop(
+        loop,
+        machine,
+        strategy,
+        partition_config=partition_config,
+        baseline_unroll=baseline_unroll,
+        optimize=optimize,
+        allow_reassociation=allow_reassociation,
+    )
+    if check_env_enabled():
+        run_translation_checks(compiled, raise_on_error=True)
+    return compiled
+
+
+def _compile_loop(
     loop: Loop,
     machine: MachineDescription,
     strategy: Strategy,

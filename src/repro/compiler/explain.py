@@ -104,6 +104,14 @@ def render_explanation(
         for r in certificates:
             sections.append(f"  [{r.reason}] {r.message}")
         sections.append("")
+    validations = recorder.events.remarks_for(
+        loop=loop.name, pass_name="check"
+    )
+    if validations:
+        sections.append("== validation ==")
+        for r in validations:
+            sections.append(f"  [{r.reason}] {r.message}")
+        sections.append("")
     verdicts = recorder.events.remarks_for(loop=loop.name, pass_name="driver")
     if verdicts:
         sections.append("== strategy comparison ==")
@@ -119,12 +127,15 @@ def explain_loop(
     optimize: bool = False,
     trip_count: int | None = None,
     oracle_budget=None,
+    check: bool = False,
 ) -> str:
     """Compile ``loop`` under every strategy and explain the outcome.
 
     With ``oracle_budget`` (an :class:`repro.oracle.OracleBudget`), the
     exact-optimality oracle certifies the selective compilation and the
-    report grows an "optimality certificates" section.
+    report grows an "optimality certificates" section.  With ``check``,
+    translation validation runs over every strategy's result and the
+    report grows a "validation" section.
     """
     if trip_count is not None and loop.trip_count is None:
         loop = dc_replace(loop, trip_count=trip_count)
@@ -140,4 +151,9 @@ def explain_loop(
                 certify_compiled(
                     loop, machine, selective, budget=oracle_budget
                 )
+        if check:
+            from repro.compiler.driver import run_translation_checks
+
+            for c in compiled.values():
+                run_translation_checks(c)
     return render_explanation(loop, compiled, recorder)

@@ -14,11 +14,11 @@ unit-stride — the modeled machines have no scatter/gather.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dependence.graph import DepEdge, DependenceGraph, DepKind, Via
 from repro.dependence.scc import scc_membership, tarjan_sccs
-from repro.dependence.tests import Distance, Independent, Unknown, test_subscripts
+from repro.dependence.tests import Distance, Independent, test_subscripts
 from repro.ir.loop import Loop
 from repro.ir.operations import Operation, OpKind
 from repro.ir.values import VirtualRegister

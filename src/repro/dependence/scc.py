@@ -7,7 +7,7 @@ larger generated loops.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 
 def tarjan_sccs(

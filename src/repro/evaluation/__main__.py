@@ -128,6 +128,13 @@ def main(argv: list[str] | None = None) -> int:
         "(e.g. 101.tomcatv.L0) instead of running experiments",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run translation validation over every compiled loop (plus "
+        "the Figure 1 strategies) after the experiments; print the "
+        "check gate and exit nonzero on any ERROR finding",
+    )
+    parser.add_argument(
         "--oracle-gap",
         action="store_true",
         help="run the exact-optimality oracle over Figure 1 plus the "
@@ -276,6 +283,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote trace to {args.trace_json}")
 
     failed = False
+    if args.check:
+        from repro.evaluation.experiments import figure1_check_reports
+
+        check_start = time.time()
+        reports = evaluator.run_checks(names) + figure1_check_reports()
+        errors = sum(len(r.errors()) for r in reports)
+        findings = sum(len(r.findings) for r in reports)
+        for report in reports:
+            if report.findings:
+                print(report.render_text())
+        print(
+            f"check gate: {len(reports)} compile(s) validated, "
+            f"{errors} error finding(s), {findings} total finding(s) "
+            f"[{time.time() - check_start:.1f}s]"
+        )
+        failed = failed or errors > 0
     if args.compare_baseline:
         baseline = bench_io.load_baseline(args.compare_baseline)
         regressions = bench_io.compare_to_baseline(

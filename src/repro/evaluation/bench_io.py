@@ -86,6 +86,8 @@ def telemetry_payload(
                 "sched_attempts": t.sched_attempts,
                 "cache_hits": t.cache_hits,
                 "cache_misses": t.cache_misses,
+                "check_ms": round(t.check_ms, 3),
+                "check_findings": t.check_findings,
             }
             for label, t in variants.items()
         }

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.driver import CompiledLoop, compile_loop
 from repro.compiler.strategies import Strategy
@@ -33,12 +33,7 @@ from repro.machine.machine import MachineDescription
 from repro.observability.recorder import active_recorder, maybe_span
 from repro.vectorize.partition import PartitionConfig
 from repro.workloads.kernels import dot_product
-from repro.workloads.spec import (
-    BENCHMARK_NAMES,
-    Benchmark,
-    WorkloadLoop,
-    build_benchmark,
-)
+from repro.workloads.spec import BENCHMARK_NAMES, Benchmark, build_benchmark
 
 EPSILON = 1e-9
 
@@ -100,10 +95,16 @@ class CompileTelemetry:
     sched_attempts: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Translation-validation overhead (populated when checks run, either
+    # in-process via REPRO_CHECK or post-hoc via --check).
+    check_ms: float = 0.0
+    check_findings: int = 0
 
     def absorb(self, compiled: CompiledLoop) -> None:
         """Fold one compiled loop's effort counters into the batch."""
         self.loops += 1
+        self.check_ms += getattr(compiled, "check_ms", 0.0)
+        self.check_findings += getattr(compiled, "check_findings", 0)
         if compiled.partition is not None:
             self.kl_iterations += compiled.partition.iterations
             self.kl_probes += compiled.partition.n_probes
@@ -310,6 +311,25 @@ class Evaluator:
                 telemetry.absorb(compiled)
             self._compiled[key] = slot
 
+    def run_checks(self, names: tuple[str, ...] | None = None) -> list:
+        """Run translation validation over every compiled loop memoized
+        so far (optionally restricted to ``names``), folding checker
+        wall-time into the batch telemetry.  Returns the
+        :class:`~repro.check.CheckReport` list."""
+        from repro.compiler.driver import run_translation_checks
+
+        reports = []
+        for (name, label), loops in sorted(self._compiled.items()):
+            if names is not None and name not in names:
+                continue
+            telemetry = self.telemetry.get((name, label))
+            for compiled in loops:
+                reports.append(run_translation_checks(compiled))
+                if telemetry is not None:
+                    telemetry.check_ms += compiled.check_ms
+                    telemetry.check_findings += compiled.check_findings
+        return reports
+
     def loop_metric_rows(
         self, names: tuple[str, ...] = BENCHMARK_NAMES
     ) -> dict[str, dict[str, dict[str, dict[str, float]]]]:
@@ -481,3 +501,27 @@ def figure1_iis() -> dict[str, float]:
     ):
         results[label] = compile_loop(loop, machine, strategy).ii_per_iteration()
     return results
+
+
+def figure1_check_reports() -> list:
+    """Translation-validation reports for the Figure 1 example under
+    every strategy on the toy machine."""
+    from repro.compiler.driver import run_translation_checks
+
+    machine = figure1_machine()
+    loop = dot_product()
+    reports = []
+    for strategy in (
+        Strategy.BASELINE,
+        Strategy.TRADITIONAL,
+        Strategy.FULL,
+        Strategy.SELECTIVE,
+    ):
+        compiled = compile_loop(
+            loop,
+            machine,
+            strategy,
+            baseline_unroll=1 if strategy is Strategy.BASELINE else None,
+        )
+        reports.append(run_translation_checks(compiled))
+    return reports

@@ -22,7 +22,6 @@ from repro.frontend.ast import (
     ScalarAssign,
     UnaryExpr,
 )
-from repro.frontend.lexer import SyntaxErrorDSL
 from repro.ir.builder import LoopBuilder
 from repro.ir.loop import Loop
 from repro.ir.subscripts import AffineExpr, Subscript

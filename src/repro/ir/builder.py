@@ -15,7 +15,7 @@ from repro.ir.loop import ArrayInfo, CarriedScalar, Loop
 from repro.ir.operations import Operation, OpKind
 from repro.ir.subscripts import AffineExpr, Subscript
 from repro.ir.types import ScalarType
-from repro.ir.values import Constant, Operand, VirtualRegister
+from repro.ir.values import Operand, VirtualRegister
 
 
 class LoopBuilder:

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.ir.subscripts import Subscript
 from repro.ir.types import ScalarType
-from repro.ir.values import Constant, Operand, VirtualRegister
+from repro.ir.values import Operand, VirtualRegister
 
 
 class OpKind(enum.Enum):

@@ -9,7 +9,7 @@ from __future__ import annotations
 from repro.ir.loop import Loop
 from repro.ir.operations import Operation, OpKind
 from repro.ir.types import ScalarType
-from repro.ir.values import Constant, VirtualRegister
+from repro.ir.values import VirtualRegister
 
 
 class VerificationError(Exception):
@@ -18,12 +18,13 @@ class VerificationError(Exception):
 
 def verify_loop(loop: Loop) -> None:
     defined: set[VirtualRegister] = set()
+    defined_names: dict[str, VirtualRegister] = {}
     available: set[VirtualRegister] = set(loop.carried_entries())
 
     for op in loop.preheader:
-        _verify_op(loop, op, available, defined)
+        _verify_op(loop, op, available, defined, defined_names)
     for op in loop.body:
-        _verify_op(loop, op, available, defined)
+        _verify_op(loop, op, available, defined, defined_names)
 
     for c in loop.carried:
         if isinstance(c.exit, VirtualRegister):
@@ -39,6 +40,16 @@ def verify_loop(loop: Loop) -> None:
     for reg in loop.live_out:
         if reg not in available:
             raise VerificationError(f"live-out register {reg} is never defined")
+        for c in loop.carried:
+            if (
+                isinstance(c.exit, VirtualRegister)
+                and c.exit.name == reg.name
+                and c.exit.type != reg.type
+            ):
+                raise VerificationError(
+                    f"live-out register {reg} is also the carried exit of "
+                    f"{c.entry} with mismatched type {c.exit.type}"
+                )
 
     if loop.increment < 1:
         raise VerificationError(f"loop increment must be >= 1, got {loop.increment}")
@@ -49,6 +60,7 @@ def _verify_op(
     op: Operation,
     available: set[VirtualRegister],
     defined: set[VirtualRegister],
+    defined_names: dict[str, VirtualRegister],
 ) -> None:
     for src in op.registers_read():
         if src not in available:
@@ -96,6 +108,14 @@ def _verify_op(
     if op.dest is not None:
         if op.dest in defined:
             raise VerificationError(f"register {op.dest} assigned more than once")
+        previous = defined_names.get(op.dest.name)
+        if previous is not None:
+            # Same SSA name under a different type is still a duplicate
+            # definition (set membership alone would miss it).
+            raise VerificationError(
+                f"register name {op.dest.name!r} defined more than once "
+                f"(as {previous.type} and {op.dest.type})"
+            )
         if op.dest in loop.carried_entries():
             raise VerificationError(
                 f"register {op.dest} is a carried-scalar entry and cannot be "
@@ -111,4 +131,5 @@ def _verify_op(
                 f"operation {op} destination type does not match opcode dtype"
             )
         defined.add(op.dest)
+        defined_names[op.dest.name] = op.dest
         available.add(op.dest)

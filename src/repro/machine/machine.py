@@ -15,7 +15,7 @@ The description answers every question the backend asks:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ir.operations import Operation, OpKind
 from repro.ir.types import ScalarType

@@ -33,7 +33,7 @@ from contextlib import nullcontext
 
 from repro.observability.events import EventLog
 from repro.observability.stats import StatRegistry
-from repro.observability.trace import Span, SpanContext, SpanTracer
+from repro.observability.trace import SpanContext, SpanTracer
 
 _NULL_SPAN = nullcontext()
 

@@ -18,7 +18,6 @@ from dataclasses import replace
 from repro.interp.interpreter import _binary, _unary
 from repro.ir.loop import Loop
 from repro.ir.operations import Operation, OpKind
-from repro.ir.types import ScalarType
 from repro.ir.values import Constant, Operand, VirtualRegister
 from repro.opt.rewrite import rewrite_loop
 

@@ -11,7 +11,7 @@ from dataclasses import replace
 
 from repro.ir.loop import CarriedScalar, Loop
 from repro.ir.operations import Operation
-from repro.ir.values import Constant, Operand, VirtualRegister
+from repro.ir.values import Operand, VirtualRegister
 
 
 def substitute_operand(

@@ -53,7 +53,7 @@ from itertools import product
 from repro.dependence.analysis import LoopDependence
 from repro.ir.operations import Operation
 from repro.machine.machine import MachineDescription
-from repro.oracle import BOUNDED, CERTIFIED, TIMEOUT, BudgetMeter, OracleBudget
+from repro.oracle import CERTIFIED, BudgetMeter, OracleBudget
 from repro.vectorize.bins import Bins
 from repro.vectorize.communication import Side, Transfer
 from repro.vectorize.partition import (

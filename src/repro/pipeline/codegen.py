@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dependence.graph import DependenceGraph, DepKind, Via
+from repro.dependence.graph import DependenceGraph
 from repro.ir.operations import Operation
 from repro.ir.values import Constant, VirtualRegister
 from repro.pipeline.scheduler import ModuloSchedule

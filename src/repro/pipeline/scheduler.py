@@ -13,7 +13,7 @@ moves on to II+1.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dependence.graph import DependenceGraph
 from repro.ir.loop import Loop

@@ -19,7 +19,6 @@ from typing import TYPE_CHECKING
 from repro.dependence.graph import DependenceGraph, DepKind, Via
 from repro.ir.types import ScalarType, VectorType
 from repro.ir.values import VirtualRegister
-from repro.machine.machine import MachineDescription
 
 if TYPE_CHECKING:  # avoid a circular import with repro.pipeline
     from repro.pipeline.scheduler import ModuloSchedule

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 from repro.dependence.analysis import LoopDependence
 from repro.dependence.graph import DepKind, Via
-from repro.ir.loop import Loop
 from repro.ir.operations import Operation
 from repro.ir.types import ScalarType
 from repro.ir.values import VirtualRegister

@@ -17,14 +17,12 @@ returns ``None`` otherwise.
 from __future__ import annotations
 
 from repro.dependence.analysis import LoopDependence
-from repro.ir.operations import Operation
 from repro.machine.machine import MachineDescription
 from repro.vectorize.communication import Side
 from repro.vectorize.transform import (
     DEFAULT_SCRATCH_ELEMS,
     TransformResult,
     _Emitter,
-    ordered_components,
     _topo_by_intra_edges,
 )
 

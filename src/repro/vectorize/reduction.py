@@ -29,7 +29,7 @@ reassociated reference, and exactly for min/max/integer reductions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.dependence.analysis import LoopDependence
 from repro.ir.loop import CarriedScalar

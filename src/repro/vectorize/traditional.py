@@ -25,7 +25,7 @@ from repro.ir.loop import ArrayInfo, CarriedScalar, Loop
 from repro.ir.operations import Operation, OpKind
 from repro.ir.subscripts import Subscript
 from repro.ir.types import ScalarType
-from repro.ir.values import Constant, Operand, VirtualRegister
+from repro.ir.values import Operand, VirtualRegister
 from repro.machine.machine import MachineDescription
 from repro.vectorize.full import refine_isolated
 from repro.vectorize.transform import DEFAULT_SCRATCH_ELEMS, ordered_components

@@ -31,7 +31,6 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.dependence.analysis import LoopDependence
-from repro.dependence.graph import DependenceGraph
 from repro.ir.loop import ArrayInfo, CarriedScalar, Loop
 from repro.ir.operations import Operation, OpKind
 from repro.ir.subscripts import AffineExpr, Subscript
@@ -80,6 +79,10 @@ class TransformResult:
     # original carried-entry name -> (reduction kind, vector accumulator
     # entry name); set by reduction vectorization (Section 6 extension)
     reduction_combines: dict[str, tuple[OpKind, str]] = field(default_factory=dict)
+    # the loop the transform consumed, for translation validation;
+    # None when the producing pass cannot state one (the checker then
+    # skips vectorize-stage obligations with an INFO finding)
+    source: Loop | None = None
 
     @property
     def vectorized(self) -> bool:
@@ -676,4 +679,5 @@ def transform_loop(
         n_vector_ops=emitter.n_vector_ops,
         n_transfers=emitter.n_transfers,
         n_merges=emitter.n_merges,
+        source=dep.loop,
     )

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from repro.ir.builder import LoopBuilder
 from repro.ir.loop import Loop
-from repro.ir.values import const_f64
 
 
 def k1_hydro(n: int = 1024) -> Loop:

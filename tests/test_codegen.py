@@ -7,11 +7,7 @@ from repro.compiler.driver import compile_loop
 from repro.compiler.strategies import Strategy
 from repro.dependence.analysis import analyze_loop
 from repro.machine.configs import paper_machine
-from repro.pipeline.codegen import (
-    PredicatedOp,
-    RotatingRef,
-    generate_kernel_only_code,
-)
+from repro.pipeline.codegen import RotatingRef, generate_kernel_only_code
 from repro.pipeline.mve import modulo_variable_expansion
 from repro.workloads.generator import generate
 from repro.workloads.kernels import ALL_KERNELS

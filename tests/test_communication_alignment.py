@@ -4,10 +4,9 @@ import pytest
 
 from repro.dependence.analysis import analyze_loop
 from repro.ir.builder import LoopBuilder
-from repro.ir.operations import OpKind
 from repro.ir.types import ScalarType
-from repro.machine.configs import aligned_machine, figure1_machine, paper_machine
-from repro.machine.machine import AlignmentPolicy, MachineDescription
+from repro.machine.configs import aligned_machine
+from repro.machine.machine import AlignmentPolicy
 from repro.vectorize.alignment import merge_overhead_opcodes, reference_is_misaligned
 from repro.vectorize.communication import (
     Side,

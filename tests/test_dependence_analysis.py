@@ -1,9 +1,8 @@
 """Tests for dependence graph construction, SCCs, and vectorizability."""
 
-import pytest
 
 from repro.dependence.analysis import analyze_loop, build_dependence_graph
-from repro.dependence.graph import DepEdge, DependenceGraph, DepKind, Via
+from repro.dependence.graph import DepKind, Via
 from repro.dependence.scc import scc_membership, tarjan_sccs
 from repro.ir.builder import LoopBuilder
 from repro.ir.values import const_f64

@@ -133,3 +133,62 @@ class TestSubscriptCombination:
 
         with pytest.raises(ValueError):
             subs_test(Subscript.linear(), Subscript.of(aff(1, 0), aff(1, 0)))
+
+
+class TestSymbolicEdgeCases:
+    """Symbolic subscript parts: matching symbols cancel exactly; any
+    mismatch must fall back to UNKNOWN no matter what the affine parts
+    would otherwise prove."""
+
+    def test_ziv_unequal_offsets_with_matching_symbols(self):
+        # x[n+5] vs x[n+6]: the symbol cancels, constants differ
+        assert dim_test(aff(0, 5, n=1), aff(0, 6, n=1)) is INDEPENDENT
+
+    def test_ziv_unequal_symbolic_coefficients(self):
+        # x[n+5] vs x[2n+5]: nothing cancels
+        assert dim_test(aff(0, 5, n=1), aff(0, 5, n=2)) is UNKNOWN
+
+    def test_siv_negative_coefficient_distance(self):
+        # x[-i] vs x[-i - 2]: conflict at i2 = i1 - 2
+        assert dim_test(aff(-1, 0), aff(-1, -2)) == Distance(-2)
+
+    def test_siv_negative_coefficient_scaled(self):
+        # x[-2i] vs x[-2i - 4]: conflict at i2 = i1 - 2
+        assert dim_test(aff(-2, 0), aff(-2, -4)) == Distance(-2)
+
+    def test_siv_negative_coefficient_nondivisible(self):
+        # -2i and -2i + 1 never meet (parity)
+        assert dim_test(aff(-2, 0), aff(-2, 1)) is INDEPENDENT
+
+    def test_mismatched_symbols_defeat_siv(self):
+        # x[i+n] vs x[i+m]: would be Distance(0) if the symbols matched
+        assert dim_test(aff(1, 0, n=1), aff(1, 0, m=1)) is UNKNOWN
+
+    def test_mismatched_symbols_defeat_independence_proof(self):
+        # 2i+n vs 2i+m+1: parity would prove INDEPENDENT, but n-m is free
+        assert dim_test(aff(2, 0, n=1), aff(2, 1, m=1)) is UNKNOWN
+
+    @given(
+        st.integers(-4, 4),
+        st.integers(-8, 8),
+        st.integers(-4, 4),
+        st.integers(-8, 8),
+    )
+    def test_symbol_mismatch_always_conservative(self, c1, o1, c2, o2):
+        """Differing symbolic parts force UNKNOWN — never an exact
+        distance, never an independence claim."""
+        assert dim_test(aff(c1, o1, n=1), aff(c2, o2, m=1)) is UNKNOWN
+
+    @given(
+        st.integers(-4, 4),
+        st.integers(-8, 8),
+        st.integers(-4, 4),
+        st.integers(-8, 8),
+        st.integers(-3, 3),
+    )
+    def test_matching_symbols_cancel_exactly(self, c1, o1, c2, o2, s):
+        """A shared symbolic term never changes the verdict: it cancels
+        from both sides of the conflict equation."""
+        with_sym = dim_test(aff(c1, o1, n=s), aff(c2, o2, n=s))
+        without = dim_test(aff(c1, o1), aff(c2, o2))
+        assert with_sym == without

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.compiler.driver import CompiledLoop, compile_loop
+from repro.compiler.driver import compile_loop
 from repro.compiler.strategies import ALL_STRATEGIES, Strategy
-from repro.machine.configs import figure1_machine, paper_machine
 from repro.simulate.timing import (
     LOOP_SETUP_CYCLES,
     UnitTiming,

@@ -6,7 +6,7 @@ small benchmark (tomcatv, 9 loops) and the motivating example.
 
 import pytest
 
-from repro.evaluation.experiments import Evaluator, Variant, figure1_iis
+from repro.evaluation.experiments import Evaluator, figure1_iis
 from repro.evaluation.tables import (
     PAPER_FIGURE1,
     format_figure1,

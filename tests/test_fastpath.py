@@ -23,7 +23,6 @@ import pytest
 from repro.dependence.analysis import analyze_loop
 from repro.machine.configs import paper_machine
 from repro.pipeline.mii import edge_delay, edge_delays
-from repro.vectorize.bins import Bins
 from repro.vectorize.communication import Side, transfer_for_key
 from repro.vectorize.partition import (
     IncrementalPacker,

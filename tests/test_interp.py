@@ -1,6 +1,5 @@
 """Tests for the functional interpreter and memory image."""
 
-import math
 
 import pytest
 

@@ -138,3 +138,92 @@ def test_vl4_machine_equivalence(loop, trip, seed):
         assert result.carried[name] == value or abs(
             result.carried[name] - value
         ) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Verifier invariants (duplicate definitions, live-out/carried conflicts)
+
+import pytest
+
+from repro.ir.loop import CarriedScalar, Loop
+from repro.ir.operations import Operation, OpKind
+from repro.ir.types import ScalarType
+from repro.ir.values import Constant, VirtualRegister
+from repro.ir.verifier import VerificationError, verify_loop
+
+
+def test_verifier_rejects_duplicate_register_object():
+    t = VirtualRegister("t", ScalarType.F64)
+    op = Operation(
+        OpKind.COPY, ScalarType.F64, dest=t, srcs=(Constant(1.0, ScalarType.F64),)
+    )
+    loop = Loop(name="dup", body=(op, op))
+    with pytest.raises(VerificationError, match="assigned more than once"):
+        verify_loop(loop)
+
+
+def test_verifier_rejects_duplicate_name_with_different_type():
+    """Two SSA defs sharing a name but not a type are still duplicates;
+    pure set membership over (name, type) pairs would miss this."""
+    t_f = VirtualRegister("t", ScalarType.F64)
+    t_i = VirtualRegister("t", ScalarType.I64)
+    loop = Loop(
+        name="dupname",
+        body=(
+            Operation(
+                OpKind.COPY,
+                ScalarType.F64,
+                dest=t_f,
+                srcs=(Constant(1.0, ScalarType.F64),),
+            ),
+            Operation(
+                OpKind.COPY,
+                ScalarType.I64,
+                dest=t_i,
+                srcs=(Constant(1, ScalarType.I64),),
+            ),
+        ),
+    )
+    with pytest.raises(VerificationError, match="defined more than once"):
+        verify_loop(loop)
+
+
+def test_verifier_rejects_liveout_shadowing_carried_exit_type():
+    """A live-out register whose name is also a carried exit under a
+    different type is ambiguous at loop end and must be rejected."""
+    res_f = VirtualRegister("res", ScalarType.F64)
+    res_i = VirtualRegister("res", ScalarType.I64)
+    body = (
+        Operation(
+            OpKind.COPY,
+            ScalarType.F64,
+            dest=res_f,
+            srcs=(Constant(2.0, ScalarType.F64),),
+        ),
+    )
+    loop = Loop(
+        name="shadow",
+        body=body,
+        carried=(CarriedScalar(res_i, res_i, 0),),
+        live_out=(res_f,),
+    )
+    with pytest.raises(VerificationError, match="mismatched type"):
+        verify_loop(loop)
+
+
+def test_verifier_accepts_matching_liveout_carried_exit():
+    """Sanity: the same shape with consistent types still verifies."""
+    res = VirtualRegister("res", ScalarType.F64)
+    acc = VirtualRegister("acc", ScalarType.F64)
+    body = (
+        Operation(
+            OpKind.ADD, ScalarType.F64, dest=res, srcs=(acc, Constant(1.0, ScalarType.F64))
+        ),
+    )
+    loop = Loop(
+        name="ok",
+        body=body,
+        carried=(CarriedScalar(acc, res, 0.0),),
+        live_out=(res,),
+    )
+    verify_loop(loop)

@@ -2,16 +2,12 @@
 
 import pytest
 
-from repro.ir.operations import Operation, OpKind
-from repro.ir.subscripts import Subscript
-from repro.ir.types import ScalarType, VectorType
-from repro.ir.values import VirtualRegister
+from repro.ir.operations import OpKind
+from repro.ir.types import ScalarType
 from repro.machine.configs import (
     aligned_machine,
     dual_vector_unit_machine,
-    figure1_machine,
     free_communication_machine,
-    paper_machine,
     scalar_only_machine,
     wide_vector_machine,
 )

@@ -1,7 +1,6 @@
 """The exact-optimality oracle: branch-and-bound partitioning,
 exhaustive modulo scheduling, and the optimality-gap harness."""
 
-import os
 
 import pytest
 from hypothesis import given, settings

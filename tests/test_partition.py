@@ -1,21 +1,12 @@
 """Tests for selective vectorization partitioning (Figure 2)."""
 
-import pytest
 
 from repro.dependence.analysis import analyze_loop
 from repro.ir.builder import LoopBuilder
 from repro.ir.values import const_f64
-from repro.machine.configs import (
-    figure1_machine,
-    paper_machine,
-    scalar_only_machine,
-)
+from repro.machine.configs import scalar_only_machine
 from repro.vectorize.communication import Side, dataflow_of, transfers_for
-from repro.vectorize.partition import (
-    PartitionConfig,
-    PartitionResult,
-    partition_operations,
-)
+from repro.vectorize.partition import PartitionConfig, partition_operations
 
 
 def fp_chain_loop(length=8):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.compiler.driver import compile_loop
-from repro.compiler.strategies import ALL_STRATEGIES, Strategy
+from repro.compiler.strategies import Strategy
 from repro.interp.interpreter import InterpreterError, run_loop
 from repro.interp.memory import memory_for_loop
 from repro.machine.configs import figure1_machine, paper_machine

@@ -10,7 +10,6 @@ from repro.interp.memory import memory_for_loop
 from repro.ir.builder import LoopBuilder
 from repro.ir.operations import OpKind
 from repro.ir.types import ScalarType, VectorType
-from repro.ir.values import const_f64, const_i64
 from repro.machine.configs import paper_machine
 from repro.vectorize.reduction import (
     combine_lanes,

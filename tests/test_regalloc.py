@@ -6,7 +6,6 @@ from repro.dependence.analysis import analyze_loop
 from repro.ir.builder import LoopBuilder
 from repro.ir.types import ScalarType, VectorType
 from repro.ir.values import VirtualRegister
-from repro.machine.configs import paper_machine
 from repro.machine.machine import RegisterFiles
 from repro.pipeline.scheduler import modulo_schedule
 from repro.regalloc.allocator import (

@@ -8,7 +8,6 @@ from repro.ir.builder import LoopBuilder
 from repro.ir.operations import Operation, OpKind
 from repro.ir.types import ScalarType
 from repro.ir.values import VirtualRegister, const_f64
-from repro.machine.configs import figure1_machine, paper_machine
 from repro.pipeline.list_schedule import list_schedule_length
 from repro.pipeline.mii import edge_delay, minimum_ii, rec_mii, res_mii
 from repro.pipeline.reservation import ModuloReservationTable

@@ -14,13 +14,7 @@ from repro.ir.verifier import verify_loop
 from repro.machine.configs import paper_machine
 from repro.machine.machine import RegisterFiles
 from repro.pipeline.scheduler import modulo_schedule
-from repro.regalloc.allocator import allocate_kernel
-from repro.regalloc.spill import (
-    SPILL_PREFIX,
-    insert_spills,
-    spill_candidates,
-    spill_for_pressure,
-)
+from repro.regalloc.spill import SPILL_PREFIX, insert_spills, spill_candidates
 from repro.vectorize.communication import Side
 from repro.vectorize.transform import transform_loop
 

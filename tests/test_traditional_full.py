@@ -7,7 +7,6 @@ from repro.compiler.strategies import Strategy
 from repro.dependence.analysis import analyze_loop
 from repro.ir.builder import LoopBuilder
 from repro.ir.values import const_f64
-from repro.machine.configs import figure1_machine, paper_machine
 from repro.vectorize.communication import Side
 from repro.vectorize.full import full_assignment, refine_isolated
 from repro.vectorize.traditional import EXPANSION_PREFIX, distribute_loop
@@ -211,7 +210,6 @@ class TestCarriedExpansion:
         assert result.carried["s"] == pytest.approx(seq.carried["s"], abs=1e-12)
 
     def test_no_fusion_variant_still_correct(self, paper):
-        from repro.compiler.driver import _compile_unit
         from repro.dependence.analysis import analyze_loop as analyze
         from repro.interp.interpreter import run_loop
         from repro.interp.memory import memory_for_loop

@@ -8,7 +8,7 @@ from repro.ir.operations import OpKind
 from repro.ir.types import VectorType
 from repro.ir.values import const_f64
 from repro.ir.verifier import verify_loop
-from repro.machine.configs import aligned_machine, figure1_machine, paper_machine
+from repro.machine.configs import aligned_machine
 from repro.vectorize.communication import Side
 from repro.vectorize.full import full_assignment
 from repro.vectorize.transform import (
