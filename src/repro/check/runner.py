@@ -17,7 +17,7 @@ from repro.check.findings import CheckFinding, CheckReport
 from repro.check.kernel_check import check_kernel
 from repro.check.schedule_check import check_schedule
 from repro.check.vectorize_check import check_vectorize
-from repro.observability.recorder import active_recorder
+from repro.observability.recorder import active_recorder, maybe_span
 
 if TYPE_CHECKING:  # avoid a circular import with the driver
     from repro.compiler.driver import CompiledLoop, CompiledUnit
@@ -35,16 +35,20 @@ def run_unit_checks(
 
 def run_all_checks(compiled: CompiledLoop) -> CheckReport:
     """Validate every unit of ``compiled`` and report the findings."""
-    findings: list[CheckFinding] = []
-    for unit in compiled.units:
-        findings.extend(run_unit_checks(unit, compiled.machine))
-    report = CheckReport(
-        loop=compiled.source.name,
-        strategy=compiled.strategy.value,
-        findings=findings,
-        units_checked=len(compiled.units),
-    )
     rec = active_recorder()
+    with maybe_span(rec, "check", loop=compiled.source.name):
+        findings: list[CheckFinding] = []
+        for unit in compiled.units:
+            findings.extend(run_unit_checks(unit, compiled.machine))
+        report = CheckReport(
+            loop=compiled.source.name,
+            strategy=compiled.strategy.value,
+            findings=findings,
+            units_checked=len(compiled.units),
+        )
+        if rec is not None:
+            rec.count("check.units_checked", len(compiled.units))
+            rec.count("check.findings", len(findings))
     if rec is not None:
         for f in report.sorted_findings():
             rec.remark(

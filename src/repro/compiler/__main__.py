@@ -107,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a machine-readable JSON trace of the compilation",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="profile the compilation: a call tree of per-phase wall time "
+        "and deterministic effort counters (covers --check and --oracle "
+        "phases too). With PATH, write the profile JSON for "
+        "python -m repro.profiling; without, print the tree",
+    )
     return parser
 
 
@@ -166,18 +177,27 @@ def main(argv: list[str] | None = None) -> int:
 
         return certify_compiled(loop, machine, compiled, budget=oracle_budget)
 
-    recorder = None
-    if args.stats or args.trace_json:
-        with recording() as recorder:
-            compiled = compile_loop(
-                loop, machine, strategy, optimize=args.optimize
-            )
-            certificate = certify(compiled)
-    else:
+    def compile_and_analyze():
+        """Compile, certify, and validate — one unit so the whole
+        pipeline lands inside a single recording scope and the profile
+        attributes the --oracle and --check phases too."""
         compiled = compile_loop(
             loop, machine, strategy, optimize=args.optimize
         )
         certificate = certify(compiled)
+        check_report = None
+        if args.check:
+            from repro.compiler.driver import run_translation_checks
+
+            check_report = run_translation_checks(compiled)
+        return compiled, certificate, check_report
+
+    recorder = None
+    if args.stats or args.trace_json or args.profile is not None:
+        with recording() as recorder:
+            compiled, certificate, check_report = compile_and_analyze()
+    else:
+        compiled, certificate, check_report = compile_and_analyze()
 
     if args.partition and compiled.partition is not None:
         p = compiled.partition
@@ -224,13 +244,10 @@ def main(argv: list[str] | None = None) -> int:
         print(render_certificate(certificate))
 
     check_failed = False
-    if args.check:
-        from repro.compiler.driver import run_translation_checks
-
-        report = run_translation_checks(compiled)
+    if check_report is not None:
         print()
-        print(report.render_text())
-        check_failed = not report.ok
+        print(check_report.render_text())
+        check_failed = not check_report.ok
 
     if args.run:
         memory = memory_for_loop(loop, seed=42)
@@ -247,6 +264,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_json:
             write_trace(recorder, args.trace_json)
             print(f"\nwrote trace to {args.trace_json}")
+        if args.profile is not None:
+            from repro.profiling import Profile, render_tree, write_profile
+
+            profile = Profile.from_recorder(recorder)
+            if args.profile == "-":
+                print()
+                print(render_tree(profile, counters=True))
+            else:
+                write_profile(profile, args.profile)
+                print(f"\nwrote profile to {args.profile}")
     return 1 if check_failed else 0
 
 

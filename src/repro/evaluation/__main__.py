@@ -212,6 +212,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write a JSON trace covering every compilation performed",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="profile the run: a call tree of per-phase wall time and "
+        "deterministic effort counters. With PATH, write the profile "
+        "JSON for python -m repro.profiling; without, print the tree",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit periodic progress heartbeats to stderr (loops "
+        "done/total, ETA, cache hit-rate, stragglers); works with --jobs",
+    )
+    parser.add_argument(
+        "--progress-json",
+        metavar="PATH",
+        help="append progress heartbeats as JSON lines to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.explain:
@@ -229,10 +250,19 @@ def main(argv: list[str] | None = None) -> int:
     experiments = args.experiments or list(EXPERIMENTS)
     names = tuple(args.benchmarks)
 
+    progress = None
+    if args.progress or args.progress_json:
+        from repro.profiling import ProgressMonitor
+
+        progress = ProgressMonitor(
+            stream=sys.stderr if args.progress else None,
+            json_path=args.progress_json,
+        )
+
     recorder = None
     session = (
-        recording(trace=bool(args.trace_json) or args.stats)
-        if (args.stats or args.trace_json)
+        recording(trace=bool(args.trace_json) or args.stats or args.profile is not None)
+        if (args.stats or args.trace_json or args.profile is not None)
         else None
     )
     if session is not None:
@@ -241,7 +271,9 @@ def main(argv: list[str] | None = None) -> int:
     run_start = time.time()
     try:
         evaluator = Evaluator(
-            jobs=args.jobs, compile_cache=args.compile_cache
+            jobs=args.jobs,
+            compile_cache=args.compile_cache,
+            progress=progress,
         )
         for experiment in experiments:
             start = time.time()
@@ -253,6 +285,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if session is not None:
             session.__exit__(None, None, None)
+        if progress is not None:
+            progress.finish()
 
     perf = bench_io.compile_perf_payload(
         evaluator, names, wall_s=time.time() - run_start
@@ -281,6 +315,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_json:
             write_trace(recorder, args.trace_json)
             print(f"wrote trace to {args.trace_json}")
+        if args.profile is not None:
+            from repro.profiling import Profile, render_tree, write_profile
+
+            profile = Profile.from_recorder(recorder)
+            if args.profile == "-":
+                print(render_tree(profile, counters=True))
+            else:
+                write_profile(profile, args.profile)
+                print(f"wrote profile to {args.profile}")
 
     failed = False
     if args.check:

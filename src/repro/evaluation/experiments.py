@@ -139,6 +139,26 @@ def _compile_job(
     )
 
 
+def _timed_compile_job(args: tuple) -> tuple[CompiledLoop, float]:
+    """Pool worker measuring its own compile wall time, so per-loop
+    timings (progress stragglers, telemetry) survive the fan-out."""
+    start = time.perf_counter()
+    compiled = _compile_job(args)
+    return compiled, (time.perf_counter() - start) * 1e3
+
+
+def _loop_effort(compiled: CompiledLoop) -> dict[str, int]:
+    """The deterministic effort one compiled loop carries (the progress
+    monitor's per-strategy accumulation)."""
+    effort = {
+        "sched_attempts": sum(u.schedule.attempts for u in compiled.units)
+    }
+    if compiled.partition is not None:
+        effort["kl_pack_steps"] = compiled.partition.n_pack_steps
+        effort["kl_probes"] = compiled.partition.n_probes
+    return effort
+
+
 class Evaluator:
     """Compiles and caches the corpus under the standard variants.
 
@@ -158,6 +178,7 @@ class Evaluator:
         machine: MachineDescription | None = None,
         jobs: int | None = None,
         compile_cache=None,
+        progress=None,
     ):
         self.machine = machine or paper_machine()
         if jobs is None:
@@ -170,6 +191,9 @@ class Evaluator:
 
             compile_cache = CompileCache(compile_cache)
         self.compile_cache = compile_cache
+        #: Optional :class:`repro.profiling.ProgressMonitor`; ticked once
+        #: per loop (cache hits included) as compilations complete.
+        self.progress = progress
         self._benchmarks: dict[str, Benchmark] = {}
         self._compiled: dict[tuple[str, str], list[CompiledLoop]] = {}
         self.telemetry: dict[tuple[str, str], CompileTelemetry] = {}
@@ -222,9 +246,14 @@ class Evaluator:
         consulting the compile cache first and fanning misses out to the
         process pool when ``jobs > 1``."""
         rec = active_recorder()
+        progress = self.progress
         slots: dict[tuple[str, str], list[CompiledLoop | None]] = {}
         misses: list[tuple[tuple[str, str], int, tuple, str | None]] = []
         cache = self.compile_cache
+        if progress is not None:
+            progress.add_total(
+                sum(len(self.benchmark(name).loops) for name, _ in batches)
+            )
         for name, variant in batches:
             key = (name, variant.label)
             bench = self.benchmark(name)
@@ -252,6 +281,13 @@ class Evaluator:
                     if cached is not None:
                         slot[i] = cached
                         telemetry.cache_hits += 1
+                        if progress is not None:
+                            progress.tick(
+                                wl.loop.name,
+                                variant.label,
+                                cache_hit=True,
+                                effort=_loop_effort(cached),
+                            )
                         continue
                     telemetry.cache_misses += 1
                 misses.append((key, i, args, entry_key))
@@ -266,20 +302,32 @@ class Evaluator:
                 max_workers=self.jobs,
                 mp_context=multiprocessing.get_context("fork"),
             ) as pool:
-                compiled_misses = list(
-                    pool.map(_compile_job, [args for _, _, args, _ in misses])
-                )
+                # pool.map streams results back in submission order, so
+                # the progress monitor ticks as workers finish rather
+                # than after the whole fan-out drains.
+                for (key, i, args, entry_key), (compiled, loop_ms) in zip(
+                    misses,
+                    pool.map(
+                        _timed_compile_job,
+                        [args for _, _, args, _ in misses],
+                    ),
+                ):
+                    slots[key][i] = compiled
+                    if cache is not None and entry_key is not None:
+                        cache.store(entry_key, compiled)
+                    if progress is not None:
+                        progress.tick(
+                            args[0].name,
+                            key[1],
+                            wall_ms=loop_ms,
+                            effort=_loop_effort(compiled),
+                        )
             elapsed_ms = (time.perf_counter() - start) * 1e3
-            for (key, i, _, entry_key), compiled in zip(
-                misses, compiled_misses
-            ):
+            for (key, _, _, _) in misses:
                 # Attribute the fan-out's wall time by miss share.
                 batch_wall[key] = batch_wall.get(key, 0.0) + elapsed_ms / len(
                     misses
                 )
-                slots[key][i] = compiled
-                if cache is not None and entry_key is not None:
-                    cache.store(entry_key, compiled)
         else:
             by_batch: dict[tuple[str, str], list] = {}
             for miss in misses:
@@ -297,10 +345,19 @@ class Evaluator:
                 ):
                     start = time.perf_counter()
                     for _, i, args, entry_key in todo:
+                        loop_start = time.perf_counter()
                         compiled = _compile_job(args)
+                        loop_ms = (time.perf_counter() - loop_start) * 1e3
                         slots[key][i] = compiled
                         if cache is not None and entry_key is not None:
                             cache.store(entry_key, compiled)
+                        if progress is not None:
+                            progress.tick(
+                                args[0].name,
+                                variant.label,
+                                wall_ms=loop_ms,
+                                effort=_loop_effort(compiled),
+                            )
                     batch_wall[key] = (time.perf_counter() - start) * 1e3
 
         for key, slot in slots.items():

@@ -31,6 +31,12 @@ from repro.observability.recorder import (
     maybe_span,
     recording,
 )
+from repro.observability.schema import (
+    SUPPORTED_TRACE_VERSIONS,
+    TraceSchemaError,
+    load_trace,
+    validate_trace,
+)
 from repro.observability.stats import Distribution, StatRegistry
 from repro.observability.trace import Span, SpanTracer
 
@@ -40,16 +46,20 @@ __all__ = [
     "EventLog",
     "Recorder",
     "Remark",
+    "SUPPORTED_TRACE_VERSIONS",
     "Span",
     "SpanTracer",
     "StatRegistry",
     "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
     "active_recorder",
     "install",
+    "load_trace",
     "maybe_span",
     "recorder_to_dict",
     "recording",
     "render_remarks",
     "render_stats_table",
+    "validate_trace",
     "write_trace",
 ]

@@ -15,7 +15,7 @@ import json
 from repro.observability.events import jsonify
 from repro.observability.recorder import Recorder
 
-TRACE_SCHEMA_VERSION = 2
+TRACE_SCHEMA_VERSION = 3
 
 
 def recorder_to_dict(recorder: Recorder) -> dict[str, object]:

@@ -18,12 +18,14 @@ Enablement, in precedence order:
 
 1. explicitly, via :func:`install` / :func:`recording` (what the CLI
    ``--stats`` / ``--trace-json`` flags do);
-2. the ``REPRO_STATS`` / ``REPRO_TRACE`` environment variables, checked
-   once at import: ``REPRO_STATS=1`` installs a counters-only recorder
-   that prints the stats table to stderr at exit; ``REPRO_TRACE=path``
-   additionally records spans/events and writes a JSON trace to ``path``
-   at exit.  This reaches runs that never parse CLI flags (pytest,
-   pytest-benchmark, library embedders).
+2. the ``REPRO_STATS`` / ``REPRO_TRACE`` / ``REPRO_PROFILE`` environment
+   variables, checked once at import: ``REPRO_STATS=1`` installs a
+   counters-only recorder that prints the stats table to stderr at exit;
+   ``REPRO_TRACE=path`` additionally records spans/events and writes a
+   JSON trace to ``path`` at exit; ``REPRO_PROFILE=path`` writes a
+   hierarchical profile (see :mod:`repro.profiling`) at exit.  This
+   reaches runs that never parse CLI flags (pytest, pytest-benchmark,
+   library embedders).
 """
 
 from __future__ import annotations
@@ -64,6 +66,12 @@ class Recorder:
     def count(self, name: str, n: int = 1) -> None:
         if self.stats_enabled:
             self.stats.add(name, n)
+        if self.trace_enabled:
+            # Attribute the effort to the innermost open phase so the
+            # profiler can turn the span tree into a call-tree profile.
+            span = self.tracer.current()
+            if span is not None:
+                span.count(name, n)
 
     def observe(self, name: str, value: float) -> None:
         if self.stats_enabled:
@@ -159,10 +167,11 @@ def _env_truthy(value: str | None) -> bool:
 
 def _install_from_env() -> None:
     trace_path = os.environ.get("REPRO_TRACE", "").strip()
+    profile_path = os.environ.get("REPRO_PROFILE", "").strip()
     want_stats = _env_truthy(os.environ.get("REPRO_STATS"))
-    if not trace_path and not want_stats:
+    if not trace_path and not profile_path and not want_stats:
         return
-    recorder = Recorder(trace=bool(trace_path), stats=True)
+    recorder = Recorder(trace=bool(trace_path or profile_path), stats=True)
     install(recorder)
 
     import atexit
@@ -174,6 +183,10 @@ def _install_from_env() -> None:
 
         if trace_path:
             write_trace(recorder, trace_path)
+        if profile_path:
+            from repro.profiling import Profile, write_profile
+
+            write_profile(Profile.from_recorder(recorder), profile_path)
         if want_stats:
             print(render_stats_table(recorder), file=sys.stderr)
 

@@ -21,13 +21,20 @@ from dataclasses import dataclass, field
 
 @dataclass
 class Span:
-    """One timed region of the pipeline."""
+    """One timed region of the pipeline.
+
+    ``counters`` holds the effort counters recorded while this span was
+    the *innermost* open span — the per-phase attribution the profiler
+    turns into a call-tree profile.  They are "self" counters: a span's
+    cumulative effort is its own plus its descendants'.
+    """
 
     name: str
     attrs: dict[str, object]
     start_ns: int
     end_ns: int | None = None
     children: list[Span] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def duration_ns(self) -> int:
@@ -40,12 +47,16 @@ class Span:
         """Time spent in this span excluding its children."""
         return self.duration_ns - sum(c.duration_ns for c in self.children)
 
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
     def to_dict(self) -> dict[str, object]:
         return {
             "name": self.name,
             "attrs": dict(self.attrs),
             "start_ns": self.start_ns,
             "duration_ns": self.duration_ns,
+            "counters": dict(sorted(self.counters.items())),
             "children": [c.to_dict() for c in self.children],
         }
 
@@ -86,6 +97,10 @@ class SpanTracer:
     def path(self) -> str:
         """Slash-joined names of the currently open spans."""
         return "/".join(s.name for s in self._stack)
+
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
 
     def reset(self) -> None:
         self.roots.clear()

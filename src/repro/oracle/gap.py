@@ -143,38 +143,41 @@ def certify_compiled(
 ) -> LoopCertificate:
     """Certify an already-compiled loop (observe-only: the compilation
     is never altered — the oracle runs after the fact)."""
-    from repro.observability.recorder import active_recorder
+    from repro.observability.recorder import active_recorder, maybe_span
 
     budget = budget or OracleBudget.from_env()
-    partition_result: PartitionOracleResult | None = None
-    if compiled.partition is not None:
-        dep = analyze_loop(loop, machine.vector_length)
-        partition_result = exact_partition(
-            dep, machine, config, budget, incumbent=compiled.partition
-        )
-    cert = LoopCertificate(
-        loop=loop.name,
-        machine=machine.name,
-        ops=len(loop.body),
-        partition=partition_result,
-    )
-    for unit in compiled.units:
-        udep = analyze_loop(unit.transform.loop, machine.vector_length)
-        result = certify_schedule(
-            unit.transform.loop,
-            udep.graph,
-            machine,
-            unit.schedule.ii,
-            budget,
-        )
-        cert.units.append(
-            UnitCertificate(
-                name=unit.transform.loop.name,
-                factor=unit.transform.factor,
-                result=result,
-            )
-        )
     rec = active_recorder()
+    with maybe_span(rec, "oracle_certify", loop=loop.name):
+        partition_result: PartitionOracleResult | None = None
+        if compiled.partition is not None:
+            dep = analyze_loop(loop, machine.vector_length)
+            partition_result = exact_partition(
+                dep, machine, config, budget, incumbent=compiled.partition
+            )
+        cert = LoopCertificate(
+            loop=loop.name,
+            machine=machine.name,
+            ops=len(loop.body),
+            partition=partition_result,
+        )
+        for unit in compiled.units:
+            udep = analyze_loop(unit.transform.loop, machine.vector_length)
+            result = certify_schedule(
+                unit.transform.loop,
+                udep.graph,
+                machine,
+                unit.schedule.ii,
+                budget,
+            )
+            cert.units.append(
+                UnitCertificate(
+                    name=unit.transform.loop.name,
+                    factor=unit.transform.factor,
+                    result=result,
+                )
+            )
+        if rec is not None:
+            rec.count("oracle.loops_certified")
     if rec is not None:
         emit_oracle_remarks(rec, cert)
     return cert

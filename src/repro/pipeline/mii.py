@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.dependence.graph import DepEdge, DependenceGraph, DepKind
 from repro.ir.loop import Loop
 from repro.machine.machine import MachineDescription
+from repro.observability.recorder import active_recorder
 from repro.vectorize.bins import Bins, placement_freedom
 
 
@@ -188,17 +189,28 @@ def _relax(
     pred: dict[int, DepEdge] = {}
     weights = [(e, delays[e] - ii * e.distance) for e in graph.edges]
     witness: int | None = None
-    for _ in range(len(nodes)):
-        changed = False
-        for e, w in weights:
-            if dist[e.src] + w > dist[e.dst]:
-                dist[e.dst] = dist[e.src] + w
-                pred[e.dst] = e
-                changed = True
-                witness = e.dst
-        if not changed:
-            return pred, None
-    return pred, witness
+    relaxations = 0
+    rounds = 0
+    try:
+        for _ in range(len(nodes)):
+            rounds += 1
+            changed = False
+            for e, w in weights:
+                if dist[e.src] + w > dist[e.dst]:
+                    dist[e.dst] = dist[e.src] + w
+                    pred[e.dst] = e
+                    changed = True
+                    witness = e.dst
+                    relaxations += 1
+            if not changed:
+                return pred, None
+        return pred, witness
+    finally:
+        rec = active_recorder()
+        if rec is not None:
+            rec.count("mii.bf_runs")
+            rec.count("mii.bf_relaxations", relaxations)
+            rec.count("mii.bf_edges_scanned", rounds * len(weights))
 
 
 def _has_positive_cycle(

@@ -80,6 +80,7 @@ def _heights(
     if delays is None:
         delays = edge_delays(graph, machine)
     height = {op.uid: 0 for op in loop.body}
+    relaxations = 0
     # Relax to fixpoint (bounded by |V| rounds at a feasible II).
     for _ in range(len(loop.body)):
         changed = False
@@ -89,8 +90,12 @@ def _heights(
             if candidate > height[edge.src]:
                 height[edge.src] = candidate
                 changed = True
+                relaxations += 1
         if not changed:
             break
+    rec = active_recorder()
+    if rec is not None:
+        rec.count("sched.height_relaxations", relaxations)
     return height
 
 

@@ -1,0 +1,70 @@
+"""Deterministic hierarchical profiler and perf-attribution tools.
+
+Layered on :mod:`repro.observability`: the recorder's span tree already
+carries wall time per phase, and (since trace schema v3) every effort
+counter is attributed to the innermost open span.  This package turns
+one recording session into a proper call-tree profile and gives it the
+standard profiler surfaces:
+
+* :class:`Profile` / :class:`PhaseProfile` — phases merged by path, with
+  calls, total/self wall time, and *deterministic effort counters*
+  (KL pack steps, scheduler attempts, Bellman-Ford relaxations, checker
+  obligations) attributed to the phase that spent them;
+* text tree, collapsed-stack (flamegraph.pl) and speedscope-JSON
+  exporters (:mod:`repro.profiling.export`);
+* a differential profiler aligning two profiles by phase path, with
+  noise-aware thresholds on wall time and exact thresholds on effort
+  counters (:mod:`repro.profiling.diff`);
+* sweep-scale progress telemetry for the evaluation harness
+  (:mod:`repro.profiling.progress`);
+* a perf-history tool aggregating the committed
+  ``BENCH_compile_perf.json`` across git history
+  (:mod:`repro.profiling.history`).
+
+CLI: ``python -m repro.profiling {show,diff,export,check,history}``, and
+``--profile[=PATH]`` on both the compiler and evaluation CLIs.
+"""
+
+from repro.profiling.diff import (
+    PhaseDelta,
+    diff_profiles,
+    effort_deltas,
+    render_diff,
+)
+from repro.profiling.export import (
+    render_tree,
+    to_collapsed,
+    to_speedscope,
+)
+from repro.profiling.history import CommitPerf, perf_history, render_history
+from repro.profiling.profile import (
+    EFFORT_COUNTER_MAP,
+    PROFILE_SCHEMA_VERSION,
+    PhaseProfile,
+    Profile,
+    check_profile,
+    load_profile,
+    write_profile,
+)
+from repro.profiling.progress import ProgressMonitor
+
+__all__ = [
+    "CommitPerf",
+    "EFFORT_COUNTER_MAP",
+    "PROFILE_SCHEMA_VERSION",
+    "PhaseDelta",
+    "PhaseProfile",
+    "Profile",
+    "ProgressMonitor",
+    "check_profile",
+    "diff_profiles",
+    "effort_deltas",
+    "load_profile",
+    "perf_history",
+    "render_diff",
+    "render_history",
+    "render_tree",
+    "to_collapsed",
+    "to_speedscope",
+    "write_profile",
+]

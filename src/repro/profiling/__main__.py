@@ -1,0 +1,191 @@
+"""CLI for profiles: show, diff, export, check, history.
+
+Examples::
+
+    python -m repro.profiling show profile.json --counters
+    python -m repro.profiling diff old.json new.json --fail-on-effort
+    python -m repro.profiling export profile.json --format speedscope -o p.speedscope.json
+    python -m repro.profiling check profile.json
+    python -m repro.profiling history --limit 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.profiling.diff import (
+    DEFAULT_WALL_ABS_MS,
+    DEFAULT_WALL_REL,
+    diff_profiles,
+    effort_deltas,
+    render_diff,
+)
+from repro.profiling.export import render_tree, to_collapsed, to_speedscope
+from repro.profiling.history import (
+    DEFAULT_ARTIFACT,
+    perf_history,
+    render_history,
+)
+from repro.profiling.profile import check_profile, load_profile
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profiling",
+        description="Inspect, diff, export and audit repro profiles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="render a profile as a text tree")
+    show.add_argument("profile", help="profile JSON path")
+    show.add_argument("--depth", type=int, default=None, metavar="N")
+    show.add_argument(
+        "--counters",
+        action="store_true",
+        help="include per-phase effort counters",
+    )
+    show.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        help="hide phases below this total wall time",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two profiles aligned by phase path"
+    )
+    diff.add_argument("a", help="baseline profile JSON")
+    diff.add_argument("b", help="candidate profile JSON")
+    diff.add_argument(
+        "--wall-rel",
+        type=float,
+        default=DEFAULT_WALL_REL,
+        help="relative wall-time noise threshold (default %(default)s)",
+    )
+    diff.add_argument(
+        "--wall-abs-ms",
+        type=float,
+        default=DEFAULT_WALL_ABS_MS,
+        help="absolute wall-time noise threshold in ms (default %(default)s)",
+    )
+    diff.add_argument(
+        "--show-all",
+        action="store_true",
+        help="list every phase's wall times, not just significant ones",
+    )
+    diff.add_argument(
+        "--fail-on-effort",
+        action="store_true",
+        help="exit 1 if any deterministic effort counter differs",
+    )
+
+    export = sub.add_parser(
+        "export", help="export a profile for external viewers"
+    )
+    export.add_argument("profile", help="profile JSON path")
+    export.add_argument(
+        "--format",
+        choices=("speedscope", "collapsed"),
+        default="speedscope",
+    )
+    export.add_argument(
+        "-o", "--output", default=None, help="output path (default stdout)"
+    )
+
+    check = sub.add_parser(
+        "check", help="audit a profile's structural invariants"
+    )
+    check.add_argument("profile", help="profile JSON path")
+
+    history = sub.add_parser(
+        "history",
+        help="per-commit effort/wall timeline of the committed benchmark",
+    )
+    history.add_argument(
+        "--artifact",
+        default=DEFAULT_ARTIFACT,
+        help="artifact path inside the repo (default %(default)s)",
+    )
+    history.add_argument(
+        "--repo", default=".", help="git repository root (default .)"
+    )
+    history.add_argument(
+        "--limit", type=int, default=None, metavar="N", help="newest N commits"
+    )
+    history.add_argument(
+        "--json", action="store_true", help="emit JSON rows instead of a table"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "show":
+        profile = load_profile(args.profile)
+        print(
+            render_tree(
+                profile,
+                max_depth=args.depth,
+                counters=args.counters,
+                min_total_ns=int(args.min_ms * 1e6),
+            )
+        )
+        return 0
+
+    if args.command == "diff":
+        deltas = diff_profiles(
+            load_profile(args.a),
+            load_profile(args.b),
+            wall_rel=args.wall_rel,
+            wall_abs_ms=args.wall_abs_ms,
+        )
+        print(render_diff(deltas, show_all=args.show_all))
+        if args.fail_on_effort and effort_deltas(deltas):
+            return 1
+        return 0
+
+    if args.command == "export":
+        profile = load_profile(args.profile)
+        if args.format == "collapsed":
+            payload = to_collapsed(profile)
+        else:
+            payload = json.dumps(to_speedscope(profile), indent=2) + "\n"
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as f:
+                f.write(payload)
+            print(f"wrote {args.format} export to {args.output}")
+        else:
+            sys.stdout.write(payload)
+        return 0
+
+    if args.command == "check":
+        problems = check_profile(load_profile(args.profile))
+        if problems:
+            for problem in problems:
+                print(f"PROFILE INVARIANT VIOLATION: {problem}")
+            return 1
+        print("profile invariants hold")
+        return 0
+
+    if args.command == "history":
+        rows = perf_history(
+            args.repo, args.artifact, limit=args.limit
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    [row.to_dict() for row in rows], indent=2, sort_keys=True
+                )
+            )
+        else:
+            print(render_history(rows))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Perf history: the committed benchmark artifact, across git history.
+
+``BENCH_compile_perf.json`` is committed on purpose — its deterministic
+effort counters are comparable across machines, so the git history of
+the file *is* a compile-cost timeline of the project.  This module walks
+that history (``git log`` for the commits touching the artifact,
+``git show <sha>:<path>`` for each version) and aggregates it into one
+row per commit: wall time (noisy, machine-bound) next to the effort
+counters (exact).  ``python -m repro.profiling history`` renders the
+timeline; a sudden jump in ``kl_pack_steps`` between two commits points
+the finger long before anyone notices the wall-clock regression.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+
+DEFAULT_ARTIFACT = "BENCH_compile_perf.json"
+
+#: Effort counters shown as timeline columns, in display order.
+HISTORY_COUNTERS = (
+    "sched_attempts",
+    "kl_pack_steps",
+    "kl_probes",
+    "kl_repacks",
+)
+
+
+@dataclass
+class CommitPerf:
+    """One commit's snapshot of the benchmark artifact."""
+
+    sha: str
+    date: str
+    subject: str
+    loops: int = 0
+    wall_s: float = 0.0
+    effort: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "sha": self.sha,
+            "date": self.date,
+            "subject": self.subject,
+            "loops": self.loops,
+            "wall_s": self.wall_s,
+            "effort": dict(sorted(self.effort.items())),
+        }
+
+
+def _git(repo: str, *args: str) -> str:
+    result = subprocess.run(
+        ["git", "-C", repo, *args],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stdout
+
+
+def _artifact_effort(document: dict[str, object]) -> dict[str, int]:
+    effort = document.get("effort")
+    if isinstance(effort, dict):
+        return {str(k): int(v) for k, v in effort.items()}
+    # Pre-effort artifact versions: fold the per-benchmark telemetry.
+    totals: dict[str, int] = {}
+    telemetry = document.get("telemetry")
+    if isinstance(telemetry, dict):
+        for variants in telemetry.values():
+            if not isinstance(variants, dict):
+                continue
+            for stats in variants.values():
+                if not isinstance(stats, dict):
+                    continue
+                for name, value in stats.items():
+                    if isinstance(value, int) and name not in (
+                        "loops",
+                        "cache_hits",
+                        "cache_misses",
+                    ):
+                        totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def perf_history(
+    repo: str = ".",
+    artifact: str = DEFAULT_ARTIFACT,
+    *,
+    limit: int | None = None,
+) -> list[CommitPerf]:
+    """One :class:`CommitPerf` per commit that touched the artifact,
+    newest first.  Commits where the artifact fails to parse are skipped
+    (the history survives a briefly broken file)."""
+    log_args = ["log", "--format=%H\x1f%cs\x1f%s", "--follow"]
+    if limit is not None:
+        log_args.append(f"-n{limit}")
+    log_args += ["--", artifact]
+    rows: list[CommitPerf] = []
+    for line in _git(repo, *log_args).splitlines():
+        sha, _, rest = line.partition("\x1f")
+        date, _, subject = rest.partition("\x1f")
+        try:
+            raw = _git(repo, "show", f"{sha}:{artifact}")
+            document = json.loads(raw)
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            continue
+        if not isinstance(document, dict):
+            continue
+        rows.append(
+            CommitPerf(
+                sha=sha,
+                date=date,
+                subject=subject,
+                loops=int(document.get("loops") or 0),
+                wall_s=float(document.get("wall_s") or 0.0),
+                effort=_artifact_effort(document),
+            )
+        )
+    return rows
+
+
+def render_history(rows: list[CommitPerf]) -> str:
+    """The per-commit timeline table, newest commit first."""
+    if not rows:
+        return "(no committed benchmark artifact found in history)"
+    counter_cols = [
+        name
+        for name in HISTORY_COUNTERS
+        if any(row.effort.get(name) for row in rows)
+    ]
+    header = (
+        f"{'commit':<9} {'date':<11} {'loops':>5} {'wall s':>8} "
+        + " ".join(f"{name:>14}" for name in counter_cols)
+    )
+    lines = ["== compile-perf history (newest first) ==", header.rstrip()]
+    for row in rows:
+        cols = " ".join(
+            f"{row.effort.get(name, 0):>14}" for name in counter_cols
+        )
+        lines.append(
+            f"{row.sha[:8]:<9} {row.date:<11} {row.loops:>5} "
+            f"{row.wall_s:>8.3f} {cols}".rstrip()
+            + f"  {row.subject[:48]}"
+        )
+    prev: CommitPerf | None = None
+    deltas: list[str] = []
+    for row in reversed(rows):  # oldest -> newest for delta direction
+        if prev is not None:
+            for name in counter_cols:
+                a, b = prev.effort.get(name, 0), row.effort.get(name, 0)
+                if a != b:
+                    sign = "+" if b >= a else ""
+                    deltas.append(
+                        f"  {prev.sha[:8]} -> {row.sha[:8]}: {name} "
+                        f"{a} -> {b} ({sign}{b - a})"
+                    )
+        prev = row
+    if deltas:
+        lines.append("")
+        lines.append("-- effort changes between consecutive commits --")
+        lines.extend(deltas)
+    return "\n".join(lines)

@@ -88,7 +88,9 @@ class TestCompilerCLI:
         out = capsys.readouterr().out
         assert f"wrote trace to {path}" in out
         trace = json.loads(path.read_text())
-        assert trace["schema_version"] == 2
+        from repro.observability.export import TRACE_SCHEMA_VERSION
+
+        assert trace["schema_version"] == TRACE_SCHEMA_VERSION
         assert trace["spans"][0]["name"] == "compile_loop"
         assert trace["spans"][0]["attrs"]["loop"] == "cli_demo"
         assert any(e["name"] == "kl.converged" for e in trace["events"])

@@ -1,0 +1,461 @@
+"""The deterministic profiler, differential profiler, progress monitor,
+and perf-history tool."""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+
+import pytest
+
+from repro.compiler.driver import compile_loop
+from repro.compiler.strategies import Strategy
+from repro.evaluation.experiments import CompileTelemetry, Evaluator
+from repro.machine.configs import figure1_machine
+from repro.observability import recording
+from repro.profiling import (
+    EFFORT_COUNTER_MAP,
+    PhaseProfile,
+    Profile,
+    ProgressMonitor,
+    check_profile,
+    diff_profiles,
+    effort_deltas,
+    load_profile,
+    render_diff,
+    render_tree,
+    to_collapsed,
+    to_speedscope,
+    write_profile,
+)
+from repro.profiling.__main__ import main as profiling_main
+from repro.profiling.history import perf_history, render_history
+from repro.workloads.kernels import dot_product
+
+FIGURE1_STRATEGIES = (
+    Strategy.BASELINE,
+    Strategy.TRADITIONAL,
+    Strategy.FULL,
+    Strategy.SELECTIVE,
+)
+
+
+def figure1_profile() -> tuple[Profile, CompileTelemetry]:
+    """Compile the Figure 1 example under every strategy inside one
+    recording session: the profile and the flat telemetry it must match."""
+    machine = figure1_machine()
+    loop = dot_product()
+    telemetry = CompileTelemetry()
+    with recording() as rec:
+        for strategy in FIGURE1_STRATEGIES:
+            compiled = compile_loop(
+                loop,
+                machine,
+                strategy,
+                baseline_unroll=1 if strategy is Strategy.BASELINE else None,
+            )
+            telemetry.absorb(compiled)
+    return Profile.from_recorder(rec), telemetry
+
+
+class TestProfileFromRecorder:
+    def test_figure1_effort_counters_match_flat_telemetry_exactly(self):
+        # The acceptance invariant: every effort counter, summed over the
+        # profile's per-phase attribution, equals the flat
+        # CompileTelemetry total exactly.  (Holds because figure1 needs
+        # no regalloc II-retries; retried schedules would make recorder
+        # attempts exceed the telemetry, which only absorbs the final
+        # schedule's attempts.)
+        profile, telemetry = figure1_profile()
+        totals = profile.counter_totals()
+        for field, counter in EFFORT_COUNTER_MAP.items():
+            assert totals.get(counter, 0) == getattr(telemetry, field), (
+                f"{counter} attributed in the profile tree disagrees with "
+                f"CompileTelemetry.{field}"
+            )
+
+    def test_profile_counters_reproduce_flat_registry(self):
+        machine = figure1_machine()
+        with recording() as rec:
+            compile_loop(dot_product(), machine, Strategy.SELECTIVE)
+            rec.count("outside.any_span", 3)
+        profile = Profile.from_recorder(rec)
+        assert profile.counter_totals() == rec.stats.counters
+        # Counters fired outside spans land on the synthetic root.
+        assert profile.root.counters["outside.any_span"] == 3
+
+    def test_invariants_hold_and_self_times_sum_to_total(self):
+        profile, _ = figure1_profile()
+        assert check_profile(profile) == []
+        assert profile.self_ns_sum() == profile.total_ns
+
+    def test_phase_paths_are_unique_and_nested(self):
+        profile, _ = figure1_profile()
+        phases = profile.phases()
+        assert "compile_loop" in phases
+        assert "compile_loop/compile_unit/modulo_schedule" in phases
+        sched = phases["compile_loop/compile_unit/modulo_schedule"]
+        assert sched.counters.get("sched.ii_attempts", 0) > 0
+
+    def test_json_round_trip(self, tmp_path):
+        profile, _ = figure1_profile()
+        path = tmp_path / "p.json"
+        write_profile(profile, str(path))
+        loaded = load_profile(str(path))
+        assert loaded.to_dict() == profile.to_dict()
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "not_a_profile.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="kind"):
+            load_profile(str(path))
+
+
+class TestExporters:
+    def test_render_tree_lists_phases_and_counters(self):
+        profile, _ = figure1_profile()
+        text = render_tree(profile, counters=True)
+        assert "compile_loop" in text
+        assert "modulo_schedule" in text
+        assert "sched.ii_attempts" in text
+        assert "100.0%" in text
+
+    def test_collapsed_stack_weights_are_self_times(self):
+        profile, _ = figure1_profile()
+        total_us = 0
+        for line in to_collapsed(profile).splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert stack
+            total_us += int(weight)
+        # Collapsed weights are floor-divided to microseconds, so they
+        # can only undershoot the exact nanosecond self-time sum.
+        assert 0 < total_us * 1000 <= profile.self_ns_sum()
+
+    def test_speedscope_document_shape(self):
+        profile, _ = figure1_profile()
+        doc = to_speedscope(profile)
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+        prof = doc["profiles"][0]
+        assert prof["type"] == "sampled"
+        assert len(prof["samples"]) == len(prof["weights"])
+        assert sum(prof["weights"]) == prof["endValue"]
+
+
+def _leaf(path: str, total_ns: int, counters=None) -> PhaseProfile:
+    name = path.rsplit("/", 1)[-1]
+    return PhaseProfile(
+        name=name,
+        path=path,
+        calls=1,
+        total_ns=total_ns,
+        self_ns=total_ns,
+        counters=dict(counters or {}),
+    )
+
+
+def _profile_of(*leaves: PhaseProfile) -> Profile:
+    root = PhaseProfile("(session)", "", calls=1)
+    for leaf in leaves:
+        root.children[leaf.name] = leaf
+    root.total_ns = sum(leaf.total_ns for leaf in leaves)
+    return Profile(root=root)
+
+
+class TestDiff:
+    def test_self_diff_reports_zero_deltas(self):
+        profile, _ = figure1_profile()
+        deltas = diff_profiles(profile, profile)
+        assert effort_deltas(deltas) == []
+        assert not any(d.wall_significant for d in deltas)
+        assert "0 effort counter delta(s)" in render_diff(deltas)
+
+    def test_wall_noise_below_thresholds_is_insignificant(self):
+        a = _profile_of(_leaf("sched", 10_000_000))
+        b = _profile_of(_leaf("sched", 11_000_000))  # +10 %, +1 ms
+        (root_d, d) = diff_profiles(a, b, wall_rel=0.20, wall_abs_ms=1.0)
+        assert d.path == "sched"
+        assert not d.significant
+
+    def test_wall_change_needs_both_relative_and_absolute(self):
+        # +50 % but only +0.5 ms: absolute threshold filters it.
+        a = _profile_of(_leaf("sched", 1_000_000))
+        b = _profile_of(_leaf("sched", 1_500_000))
+        assert not diff_profiles(a, b)[1].wall_significant
+        # +2 ms but only +2 %: relative threshold filters it.
+        a = _profile_of(_leaf("sched", 100_000_000))
+        b = _profile_of(_leaf("sched", 102_000_000))
+        assert not diff_profiles(a, b)[1].wall_significant
+        # +50 % and +5 ms: significant.
+        a = _profile_of(_leaf("sched", 10_000_000))
+        b = _profile_of(_leaf("sched", 15_000_000))
+        d = diff_profiles(a, b)[1]
+        assert d.wall_significant
+        assert d.ratio == pytest.approx(1.5)
+
+    def test_effort_deltas_are_exact(self):
+        a = _profile_of(_leaf("sched", 5_000_000, {"sched.ii_attempts": 44}))
+        b = _profile_of(_leaf("sched", 5_000_000, {"sched.ii_attempts": 45}))
+        deltas = diff_profiles(a, b)
+        effort = effort_deltas(deltas)
+        assert len(effort) == 1
+        assert effort[0].counter_deltas == {"sched.ii_attempts": (44, 45)}
+        assert "44 -> 45 (+1)" in render_diff(deltas)
+
+    def test_phase_missing_on_one_side_compares_against_zero(self):
+        a = _profile_of(_leaf("sched", 5_000_000))
+        b = _profile_of(
+            _leaf("sched", 5_000_000),
+            _leaf("oracle_certify", 9_000_000, {"oracle.partition_nodes": 7}),
+        )
+        by_path = {d.path: d for d in diff_profiles(a, b)}
+        new = by_path["oracle_certify"]
+        assert new.a_total_ns == 0 and new.wall_significant
+        assert new.ratio == float("inf")
+        assert new.counter_deltas == {"oracle.partition_nodes": (0, 7)}
+
+
+class TestProgressMonitor:
+    def _monitor(self, **kwargs):
+        clock = iter(float(t) for t in range(0, 10_000))
+        return ProgressMonitor(clock=lambda: next(clock), **kwargs)
+
+    def test_counts_eta_and_cache_rate(self):
+        monitor = self._monitor(total=10, interval_s=1e9)
+        for i in range(4):
+            monitor.tick(f"L{i}", "selective", wall_ms=100.0, cache_hit=i % 2 == 0)
+        assert monitor.done == 4
+        assert monitor.cache_hit_rate == pytest.approx(0.5)
+        # Fake clock ticks 1 s per call; EMA of a constant rate is exact.
+        assert monitor.eta_s() == pytest.approx(6 * monitor._ema_s)
+        snap = monitor.snapshot()
+        assert snap["done"] == 4 and snap["total"] == 10
+        assert snap["eta_s"] is not None
+
+    def test_stragglers_keep_the_slowest(self):
+        monitor = self._monitor(stragglers=2)
+        for i, wall in enumerate([5.0, 50.0, 1.0, 30.0]):
+            monitor.tick(f"L{i}", "full", wall_ms=wall)
+        assert monitor.stragglers() == [("L1/full", 50.0), ("L3/full", 30.0)]
+
+    def test_per_strategy_effort_accumulates(self):
+        monitor = self._monitor()
+        monitor.tick("L0", "selective", effort={"kl_pack_steps": 100})
+        monitor.tick("L1", "selective", effort={"kl_pack_steps": 20})
+        monitor.tick("L0", "baseline", effort={"sched_attempts": 2})
+        assert monitor.effort_by_strategy == {
+            "selective": {"kl_pack_steps": 120},
+            "baseline": {"sched_attempts": 2},
+        }
+
+    def test_heartbeats_respect_interval_and_reach_both_sinks(self, tmp_path):
+        stream = io.StringIO()
+        json_path = tmp_path / "progress.jsonl"
+        monitor = self._monitor(
+            total=6, stream=stream, json_path=str(json_path), interval_s=2.5
+        )
+        for i in range(6):
+            monitor.tick(f"L{i}", "selective", wall_ms=10.0)
+        monitor.finish()
+        lines = [ln for ln in stream.getvalue().splitlines() if ln]
+        assert lines and all(ln.startswith("[progress]") for ln in lines)
+        assert "6/6 loops (100.0%)" in lines[-1]
+        payloads = [
+            json.loads(ln) for ln in json_path.read_text().splitlines()
+        ]
+        assert payloads[-1]["done"] == 6
+        assert payloads[-1]["stragglers"][0]["wall_ms"] == 10.0
+        # One tick per clock second, 2.5 s interval: not every tick emits.
+        assert len(payloads) < 6 + 1
+
+    def test_evaluator_ticks_progress_including_cache_hits(self, tmp_path):
+        monitor = ProgressMonitor(stream=None, interval_s=1e9)
+        evaluator = Evaluator(
+            compile_cache=str(tmp_path / "cache"), progress=monitor
+        )
+        evaluator.prewarm(("101.tomcatv",))
+        first_total = monitor.total
+        assert monitor.done == first_total > 0
+        assert monitor.cache_hits == 0
+        assert "selective" in monitor.effort_by_strategy
+        # A second evaluator over the same cache ticks pure hits.
+        warm = ProgressMonitor(stream=None, interval_s=1e9)
+        Evaluator(
+            compile_cache=str(tmp_path / "cache"), progress=warm
+        ).prewarm(("101.tomcatv",))
+        assert warm.done == warm.cache_hits == first_total
+
+
+class TestHistory:
+    @pytest.fixture
+    def history_repo(self, tmp_path):
+        repo = str(tmp_path / "repo")
+        env_git = ["git", "-C", repo]
+
+        def run(*argv):
+            subprocess.run(argv, check=True, capture_output=True)
+
+        run("git", "init", "-q", repo)
+        run(*env_git, "config", "user.email", "t@example.com")
+        run(*env_git, "config", "user.name", "t")
+        for steps, wall in ((100, 0.5), (180, 0.9)):
+            (tmp_path / "repo" / "BENCH_compile_perf.json").write_text(
+                json.dumps(
+                    {
+                        "loops": 36,
+                        "wall_s": wall,
+                        "effort": {
+                            "kl_pack_steps": steps,
+                            "sched_attempts": 44,
+                        },
+                    }
+                )
+            )
+            run(*env_git, "add", "BENCH_compile_perf.json")
+            run(*env_git, "commit", "-q", "-m", f"perf at {steps}")
+        return repo
+
+    def test_history_rows_newest_first(self, history_repo):
+        rows = perf_history(history_repo)
+        assert [r.effort["kl_pack_steps"] for r in rows] == [180, 100]
+        assert rows[0].wall_s == pytest.approx(0.9)
+        assert all(r.loops == 36 for r in rows)
+
+    def test_render_history_flags_effort_changes(self, history_repo):
+        text = render_history(perf_history(history_repo))
+        assert "kl_pack_steps" in text
+        assert "100 -> 180 (+80)" in text
+
+    def test_repo_artifact_parses_across_committed_history(self):
+        rows = perf_history(".", limit=3)
+        assert rows, "committed BENCH_compile_perf.json should have history"
+        for row in rows:
+            assert row.effort.get("sched_attempts", 0) > 0
+
+
+class TestProfilingCLI:
+    @pytest.fixture
+    def profile_path(self, tmp_path):
+        profile, _ = figure1_profile()
+        path = tmp_path / "profile.json"
+        write_profile(profile, str(path))
+        return str(path)
+
+    def test_show(self, profile_path, capsys):
+        assert profiling_main(["show", profile_path, "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "compile_loop" in out and "sched.ii_attempts" in out
+
+    def test_check(self, profile_path, capsys):
+        assert profiling_main(["check", profile_path]) == 0
+        assert "invariants hold" in capsys.readouterr().out
+
+    def test_self_diff_exits_zero_under_fail_on_effort(
+        self, profile_path, capsys
+    ):
+        assert (
+            profiling_main(
+                ["diff", profile_path, profile_path, "--fail-on-effort"]
+            )
+            == 0
+        )
+        assert "0 effort counter delta(s)" in capsys.readouterr().out
+
+    def test_diff_fails_on_effort_regression(
+        self, profile_path, tmp_path, capsys
+    ):
+        regressed = load_profile(profile_path)
+        node = regressed.phases()["compile_loop/compile_unit/modulo_schedule"]
+        node.counters["sched.ii_attempts"] += 5
+        other = tmp_path / "regressed.json"
+        write_profile(regressed, str(other))
+        assert (
+            profiling_main(
+                ["diff", profile_path, str(other), "--fail-on-effort"]
+            )
+            == 1
+        )
+        assert "(+5)" in capsys.readouterr().out
+
+    def test_export_speedscope_and_collapsed(
+        self, profile_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "p.speedscope.json"
+        assert (
+            profiling_main(
+                ["export", profile_path, "--format", "speedscope",
+                 "-o", str(out_path)]
+            )
+            == 0
+        )
+        doc = json.loads(out_path.read_text())
+        assert doc["profiles"][0]["type"] == "sampled"
+        assert profiling_main(["export", profile_path, "--format", "collapsed"]) == 0
+        out = capsys.readouterr().out
+        assert any(";" in line for line in out.splitlines() if line[:1].isalpha())
+
+
+class TestCLIIntegration:
+    def test_compiler_profile_flag_covers_check_and_oracle(
+        self, tmp_path, capsys
+    ):
+        from repro.compiler.__main__ import main as compiler_main
+
+        src = tmp_path / "k.loop"
+        src.write_text(
+            "loop profdemo\n"
+            "array x(512), y(512)\n"
+            "carry s = 0.0\n"
+            "do i\n"
+            "    t = x(i) * y(i)\n"
+            "    s = s + t\n"
+            "end\n"
+            "result s\n"
+        )
+        path = tmp_path / "profile.json"
+        assert (
+            compiler_main(
+                [str(src), "--check", "--oracle", "--profile", str(path)]
+            )
+            == 0
+        )
+        profile = load_profile(str(path))
+        assert check_profile(profile) == []
+        phases = profile.phases()
+        assert "check" in phases
+        assert "oracle_certify" in phases
+        assert phases["check"].counters.get("check.units_checked", 0) >= 1
+        assert (
+            phases["oracle_certify"]
+            .cumulative_counters()
+            .get("oracle.partition_runs", 0)
+            >= 1
+        )
+
+    def test_evaluation_profile_and_progress_flags(self, tmp_path, capsys):
+        from repro.evaluation.__main__ import main as evaluation_main
+
+        path = tmp_path / "eval_profile.json"
+        progress_path = tmp_path / "progress.jsonl"
+        assert (
+            evaluation_main(
+                [
+                    "table2",
+                    "--benchmarks",
+                    "101.tomcatv",
+                    "--no-bench-json",
+                    "--profile",
+                    str(path),
+                    "--progress-json",
+                    str(progress_path),
+                ]
+            )
+            == 0
+        )
+        profile = load_profile(str(path))
+        assert check_profile(profile) == []
+        payloads = [
+            json.loads(ln)
+            for ln in progress_path.read_text().splitlines()
+        ]
+        assert payloads[-1]["done"] == payloads[-1]["total"] > 0
