@@ -15,7 +15,9 @@ unrolled pipeline, timing, and a functional run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 from repro.compiler.driver import compile_loop
 from repro.compiler.strategies import ALL_STRATEGIES, Strategy
@@ -118,7 +120,112 @@ def build_parser() -> argparse.ArgumentParser:
         "phases too). With PATH, write the profile JSON for "
         "python -m repro.profiling; without, print the tree",
     )
+    parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="append this compilation to the run ledger (directory: DIR, "
+        "else the REPRO_LEDGER environment variable, else .repro-ledger); "
+        "setting REPRO_LEDGER alone also enables recording",
+    )
+    parser.add_argument(
+        "--run-label",
+        default="",
+        metavar="LABEL",
+        help="free-form label stamped on the ledger record",
+    )
     return parser
+
+
+def _append_ledger_record(
+    args: argparse.Namespace,
+    loop,
+    strategy: Strategy,
+    compiled,
+    check_report,
+    *,
+    wall_s: float,
+) -> None:
+    """Record this single-loop compilation in the run ledger.  The
+    record shares the evaluation harness's shape, so the dashboard
+    queries treat ad-hoc compiles and full-corpus runs uniformly."""
+    from repro.ledger import Ledger, RunRecord
+    from repro.ledger.record import (
+        current_git_sha,
+        digest_of,
+        new_run_id,
+        utc_now_iso,
+    )
+
+    bench = (
+        "stdin" if args.source == "-" else os.path.basename(args.source)
+    )
+    effort = {
+        "sched_attempts": sum(
+            u.schedule.attempts for u in compiled.units
+        ),
+    }
+    if compiled.partition is not None:
+        effort["kl_iterations"] = compiled.partition.iterations
+        effort["kl_probes"] = compiled.partition.n_probes
+        effort["kl_bin_packs"] = compiled.partition.n_bin_packs
+        effort["kl_repacks"] = compiled.partition.n_repacks
+        effort["kl_pack_steps"] = compiled.partition.n_pack_steps
+    check = None
+    if check_report is not None:
+        check = {
+            "units": 1,
+            "errors": len(check_report.errors()),
+            "findings": len(check_report.findings),
+        }
+    config = {
+        "source": args.source,
+        "machine": args.machine,
+        "strategy": strategy.value,
+        "trip": args.trip,
+        "optimize": bool(args.optimize),
+    }
+    loops = {
+        bench: {
+            loop.name: {
+                strategy.value: {
+                    "ii": round(compiled.ii_per_iteration(), 6)
+                }
+            }
+        }
+    }
+    created_at = utc_now_iso()
+    record = RunRecord(
+        run_id=new_run_id(created_at),
+        created_at=created_at,
+        label=args.run_label,
+        git_sha=current_git_sha(),
+        config=config,
+        config_digest=digest_of(config),
+        corpus_digest=digest_of({bench: [loop.name]}),
+        experiments={
+            "compile": {
+                bench: {
+                    "ii_per_iteration": round(
+                        compiled.ii_per_iteration(), 6
+                    ),
+                    "cycles": compiled.invocation_cycles(args.trip),
+                }
+            }
+        },
+        loops=loops,
+        effort=effort,
+        wall_s=round(wall_s, 3),
+        check=check,
+        profile=args.profile if args.profile not in (None, "-") else None,
+    )
+    ledger = Ledger(
+        args.ledger or os.environ.get("REPRO_LEDGER") or Ledger().root
+    )
+    ledger.append(record)
+    print(f"recorded run {record.run_id} in {ledger.runs_path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -193,11 +300,13 @@ def main(argv: list[str] | None = None) -> int:
         return compiled, certificate, check_report
 
     recorder = None
+    compile_start = time.perf_counter()
     if args.stats or args.trace_json or args.profile is not None:
         with recording() as recorder:
             compiled, certificate, check_report = compile_and_analyze()
     else:
         compiled, certificate, check_report = compile_and_analyze()
+    compile_wall_s = time.perf_counter() - compile_start
 
     if args.partition and compiled.partition is not None:
         p = compiled.partition
@@ -274,6 +383,16 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 write_profile(profile, args.profile)
                 print(f"\nwrote profile to {args.profile}")
+
+    if args.ledger is not None or os.environ.get("REPRO_LEDGER"):
+        _append_ledger_record(
+            args,
+            loop,
+            strategy,
+            compiled,
+            check_report,
+            wall_s=compile_wall_s,
+        )
     return 1 if check_failed else 0
 
 

@@ -24,11 +24,18 @@ persists compiled loops across runs, and every run writes a
 hits/misses, and the deterministic effort counters that
 ``--gate-effort PATH`` checks against a baseline (see
 ``docs/performance.md``).
+
+Observability: ``--ledger[=DIR]`` (or the ``REPRO_LEDGER`` environment
+variable) appends an immutable run record — per-loop IIs, speedups,
+effort counters, check outcome — to the append-only run ledger that
+``python -m repro.dashboard`` queries and renders (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -223,10 +230,31 @@ def main(argv: list[str] | None = None) -> int:
         "JSON for python -m repro.profiling; without, print the tree",
     )
     parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="append this run to the run ledger (directory: DIR, else "
+        "the REPRO_LEDGER environment variable, else .repro-ledger); "
+        "setting REPRO_LEDGER alone also enables recording",
+    )
+    parser.add_argument(
+        "--run-label",
+        default="",
+        metavar="LABEL",
+        help="free-form label stamped on the ledger record (e.g. "
+        "nightly, cold, warm)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="emit periodic progress heartbeats to stderr (loops "
-        "done/total, ETA, cache hit-rate, stragglers); works with --jobs",
+        "done/total, ETA, cache hit-rate, stragglers); works with "
+        "--jobs. The REPRO_PROGRESS environment variable enables the "
+        "same heartbeats, but only onto an interactive terminal — "
+        "redirected stderr (CI logs) stays clean unless --progress is "
+        "passed explicitly",
     )
     parser.add_argument(
         "--progress-json",
@@ -251,12 +279,18 @@ def main(argv: list[str] | None = None) -> int:
     names = tuple(args.benchmarks)
 
     progress = None
-    if args.progress or args.progress_json:
+    progress_env = bool(os.environ.get("REPRO_PROGRESS"))
+    if args.progress or args.progress_json or progress_env:
         from repro.profiling import ProgressMonitor
 
         progress = ProgressMonitor(
-            stream=sys.stderr if args.progress else None,
+            stream=(
+                sys.stderr if (args.progress or progress_env) else None
+            ),
             json_path=args.progress_json,
+            # Implicit (environment-enabled) heartbeats must not pollute
+            # redirected logs; an explicit --progress always emits.
+            require_tty=not args.progress,
         )
 
     recorder = None
@@ -326,6 +360,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"wrote profile to {args.profile}")
 
     failed = False
+    check_outcome: dict[str, object] | None = None
     if args.check:
         from repro.evaluation.experiments import figure1_check_reports
 
@@ -341,6 +376,12 @@ def main(argv: list[str] | None = None) -> int:
             f"{errors} error finding(s), {findings} total finding(s) "
             f"[{time.time() - check_start:.1f}s]"
         )
+        check_outcome = {
+            "units": len(reports),
+            "errors": errors,
+            "findings": findings,
+            "check_ms": round((time.time() - check_start) * 1e3, 3),
+        }
         failed = failed or errors > 0
     if args.compare_baseline:
         baseline = bench_io.load_baseline(args.compare_baseline)
@@ -356,6 +397,34 @@ def main(argv: list[str] | None = None) -> int:
         effort_regressions = bench_io.compare_effort(payloads, baseline)
         print(bench_io.render_effort_comparison(effort_regressions))
         failed = failed or bool(effort_regressions)
+
+    if args.ledger is not None or os.environ.get("REPRO_LEDGER"):
+        from repro.ledger import Ledger, record_from_payloads
+
+        record = record_from_payloads(
+            payloads,
+            perf,
+            label=args.run_label,
+            config={
+                "benchmarks": sorted(names),
+                "compile_cache": args.compile_cache is not None,
+            },
+            check=check_outcome,
+            profile=(
+                args.profile
+                if args.profile not in (None, "-")
+                else None
+            ),
+            notes=(["gate failed"] if failed else []),
+        )
+        ledger = Ledger(
+            args.ledger
+            or os.environ.get("REPRO_LEDGER")
+            or Ledger().root
+        )
+        ledger.append(record)
+        print(f"recorded run {record.run_id} in {ledger.runs_path}")
+
     return 1 if failed else 0
 
 

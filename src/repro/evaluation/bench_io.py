@@ -194,12 +194,62 @@ def artifact_name(experiment: str) -> str:
     return f"BENCH_{experiment}.json"
 
 
+#: Number of decimals every wall-clock float is rounded to in artifacts.
+WALL_DECIMALS = 3
+
+
+def canonicalize_payload(tree: object) -> object:
+    """The canonical artifact form: wall-clock floats rounded to a fixed
+    precision everywhere (payload builders already round, but the write
+    path enforces it so hand-assembled payloads serialize identically).
+    Key order is canonicalized at dump time (``sort_keys``)."""
+    from repro.ledger.record import WALL_FIELDS
+
+    if isinstance(tree, dict):
+        return {
+            key: (
+                round(float(value), WALL_DECIMALS)
+                if key in WALL_FIELDS and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                else canonicalize_payload(value)
+            )
+            for key, value in tree.items()
+        }
+    if isinstance(tree, list):
+        return [canonicalize_payload(item) for item in tree]
+    return tree
+
+
+def _equivalent_artifact_exists(path: str, payload: object) -> bool:
+    """True when ``path`` already holds this payload modulo volatile
+    fields (wall clock, cache traffic).  Tolerates artifacts written by
+    older bench_io versions (different rounding or key order): only the
+    deterministic content decides."""
+    from repro.ledger.record import strip_wall_fields
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            existing = json.load(f)
+    except (OSError, ValueError):
+        return False
+    return strip_wall_fields(existing) == strip_wall_fields(payload)
+
+
 def write_bench_json(
     experiment: str, payload: dict[str, object], directory: str = "."
 ) -> str:
-    """Write one ``BENCH_<experiment>.json`` artifact; returns its path."""
+    """Write one ``BENCH_<experiment>.json`` artifact; returns its path.
+
+    Writes are canonical — sorted keys, fixed wall-float rounding, one
+    trailing newline — and a no-op run (identical deterministic content,
+    only wall clock / cache traffic moved) leaves the existing file
+    untouched, so committed artifacts stop churning.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, artifact_name(experiment))
+    payload = canonicalize_payload(payload)  # type: ignore[assignment]
+    if os.path.exists(path) and _equivalent_artifact_exists(path, payload):
+        return path
     with open(path, "w", encoding="utf-8") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -209,11 +259,14 @@ def write_bench_json(
 def write_baseline(
     path: str, payloads: dict[str, dict[str, object]]
 ) -> str:
-    """Combine experiment payloads into one baseline file."""
+    """Combine experiment payloads into one baseline file (canonical
+    form; an equivalent-modulo-volatile baseline is left untouched)."""
     document = {
         "schema_version": BENCH_SCHEMA_VERSION,
-        "experiments": payloads,
+        "experiments": canonicalize_payload(payloads),
     }
+    if os.path.exists(path) and _equivalent_artifact_exists(path, document):
+        return path
     with open(path, "w", encoding="utf-8") as f:
         json.dump(document, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -60,14 +60,23 @@ class PhaseDelta:
         return self.wall_significant or self.has_effort_delta
 
 
-def _wall_significant(
+def wall_significant(
     a_ns: int, b_ns: int, rel: float, abs_ms: float
 ) -> bool:
+    """True when a wall-clock delta clears *both* noise thresholds.
+
+    Shared noise discipline: the profile diff and the dashboard's
+    cross-run comparison both gate wall time through this predicate.
+    """
     delta = abs(b_ns - a_ns)
     if delta < abs_ms * 1e6:
         return False
     base = max(a_ns, 1)
     return delta / base >= rel
+
+
+#: Backwards-compatible alias (pre-dashboard name).
+_wall_significant = wall_significant
 
 
 def diff_profiles(

@@ -15,9 +15,15 @@ from __future__ import annotations
 
 import json
 import subprocess
+import sys
 from dataclasses import dataclass, field
+from typing import Callable
 
 DEFAULT_ARTIFACT = "BENCH_compile_perf.json"
+
+
+def _stderr_warn(message: str) -> None:
+    print(f"[history] {message}", file=sys.stderr)
 
 #: Effort counters shown as timeline columns, in display order.
 HISTORY_COUNTERS = (
@@ -89,10 +95,18 @@ def perf_history(
     artifact: str = DEFAULT_ARTIFACT,
     *,
     limit: int | None = None,
+    warn: Callable[[str], None] | None = None,
 ) -> list[CommitPerf]:
     """One :class:`CommitPerf` per commit that touched the artifact,
-    newest first.  Commits where the artifact fails to parse are skipped
-    (the history survives a briefly broken file)."""
+    newest first.
+
+    Commits where the artifact is missing (e.g. the commit that deleted
+    it), fails to parse, or carries malformed fields are skipped **with
+    a warning** — the timeline survives a briefly broken file and still
+    reports every healthy commit.  Pass ``warn`` to capture the
+    warnings; the default prints them to stderr.
+    """
+    warn = warn if warn is not None else _stderr_warn
     log_args = ["log", "--format=%H\x1f%cs\x1f%s", "--follow"]
     if limit is not None:
         log_args.append(f"-n{limit}")
@@ -103,21 +117,33 @@ def perf_history(
         date, _, subject = rest.partition("\x1f")
         try:
             raw = _git(repo, "show", f"{sha}:{artifact}")
+        except subprocess.CalledProcessError:
+            warn(f"{sha[:8]}: no {artifact} at this commit — skipped")
+            continue
+        try:
             document = json.loads(raw)
-        except (subprocess.CalledProcessError, json.JSONDecodeError):
+        except json.JSONDecodeError as exc:
+            warn(f"{sha[:8]}: unparsable {artifact} ({exc}) — skipped")
             continue
         if not isinstance(document, dict):
-            continue
-        rows.append(
-            CommitPerf(
-                sha=sha,
-                date=date,
-                subject=subject,
-                loops=int(document.get("loops") or 0),
-                wall_s=float(document.get("wall_s") or 0.0),
-                effort=_artifact_effort(document),
+            warn(
+                f"{sha[:8]}: {artifact} is not a JSON object "
+                f"({type(document).__name__}) — skipped"
             )
-        )
+            continue
+        try:
+            rows.append(
+                CommitPerf(
+                    sha=sha,
+                    date=date,
+                    subject=subject,
+                    loops=int(document.get("loops") or 0),
+                    wall_s=float(document.get("wall_s") or 0.0),
+                    effort=_artifact_effort(document),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            warn(f"{sha[:8]}: malformed {artifact} ({exc}) — skipped")
     return rows
 
 

@@ -104,13 +104,16 @@ class TestCompilerCLI:
 
 class TestEvaluationCLI:
     def test_figure1(self, capsys):
-        assert evaluation_main(["figure1"]) == 0
+        assert evaluation_main(["figure1", "--no-bench-json"]) == 0
         out = capsys.readouterr().out
         assert "Figure 1" in out and "1.00" in out
 
     def test_table_subset(self, capsys):
         assert (
-            evaluation_main(["table2", "--benchmarks", "101.tomcatv"]) == 0
+            evaluation_main(
+                ["table2", "--benchmarks", "101.tomcatv", "--no-bench-json"]
+            )
+            == 0
         )
         out = capsys.readouterr().out
         assert "101.tomcatv" in out and "Selective" in out
@@ -125,6 +128,7 @@ class TestEvaluationCLI:
                     "table2",
                     "--benchmarks",
                     "101.tomcatv",
+                    "--no-bench-json",
                     "--stats",
                     "--trace-json",
                     str(path),

@@ -1,0 +1,486 @@
+"""Dashboard analytics and the self-contained HTML renderer.
+
+Covers the PR's acceptance criteria end to end:
+
+* cold vs warm runs (same corpus, different wall/cache) compare clean —
+  zero exact deltas;
+* a deliberately sabotaged scheduler (the un-jittered restart variant
+  always fails, so every loop costs extra attempts) surfaces as a
+  ranked exact-effort regression in ``compare`` and in the rendered
+  HTML;
+* the rendered dashboard is one self-contained file — no scripts, no
+  external URLs — whose structure matches a frozen golden skeleton
+  (regenerate with ``REPRO_REGEN_GOLDEN=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.dashboard import (
+    compare_runs,
+    metric_value,
+    outliers,
+    render_comparison,
+    render_dashboard,
+    spark_line,
+    svg_sparkline,
+    trend,
+)
+from repro.dashboard.__main__ import main as dashboard_main
+from repro.evaluation import bench_io
+from repro.evaluation.experiments import Evaluator
+from repro.ledger import Ledger, record_from_payloads
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "data", "golden_dashboard.html"
+)
+
+BENCH = ("101.tomcatv",)
+
+
+def _evaluation_record(run_id, created_at, label, *, evaluator=None):
+    """A real single-benchmark table2 run, recorded the way the CLI
+    records it."""
+    evaluator = evaluator or Evaluator()
+    payloads = {
+        "table2": bench_io.collect_experiment(evaluator, "table2", BENCH)
+    }
+    perf = bench_io.compile_perf_payload(evaluator, BENCH, wall_s=1.5)
+    return record_from_payloads(
+        payloads,
+        perf,
+        run_id=run_id,
+        created_at=created_at,
+        label=label,
+        git_sha="deadbeefcafe",
+        config={"benchmarks": list(BENCH)},
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_record():
+    return _evaluation_record("run-0001", "2026-08-01T00:00:00Z", "base")
+
+
+class TestColdWarmClean:
+    def test_cold_vs_warm_has_zero_exact_deltas(
+        self, baseline_record, tmp_path
+    ):
+        warm_eval = Evaluator(compile_cache=str(tmp_path / "cc"))
+        # Cold pass populates the cache, warm pass replays it.
+        bench_io.collect_experiment(warm_eval, "table2", BENCH)
+        warm_eval2 = Evaluator(compile_cache=str(tmp_path / "cc"))
+        warm = _evaluation_record(
+            "run-0002",
+            "2026-08-02T00:00:00Z",
+            "warm",
+            evaluator=warm_eval2,
+        )
+        assert warm.cache["hits"] > 0 and warm.cache["misses"] == 0
+        comparison = compare_runs(baseline_record, warm)
+        assert comparison.clean, [
+            d.render() for d in comparison.exact_deltas()
+        ]
+        # The deterministic content digests agree too.
+        assert (
+            warm.content_digest() != baseline_record.content_digest()
+        ) is False
+
+
+class TestSeededRegression:
+    def test_sabotaged_scheduler_ranks_as_effort_regression(
+        self, baseline_record, monkeypatch, tmp_path
+    ):
+        import repro.pipeline.scheduler as sched_mod
+
+        original = sched_mod._try_schedule
+
+        def sabotaged(loop, graph, machine, ii, budget, jitter_seed=None,
+                      *args, **kwargs):
+            # The un-jittered restart variant always fails, so every
+            # loop burns at least one extra scheduling attempt.
+            if jitter_seed is None:
+                return None
+            return original(
+                loop, graph, machine, ii, budget, jitter_seed,
+                *args, **kwargs,
+            )
+
+        monkeypatch.setattr(sched_mod, "_try_schedule", sabotaged)
+        mutated = _evaluation_record(
+            "run-0003", "2026-08-03T00:00:00Z", "mutated"
+        )
+        monkeypatch.undo()
+
+        comparison = compare_runs(baseline_record, mutated)
+        assert not comparison.clean
+        attempts = [
+            d
+            for d in comparison.effort
+            if d.path.endswith("sched_attempts") and d.delta > 0
+        ]
+        assert attempts, render_comparison(comparison)
+        # The ranking puts exact effort deltas first, wall last.
+        ranked = comparison.ranked()
+        assert ranked[0].kind == "effort"
+        assert all(
+            d.kind != "wall" or d is ranked[-1] for d in ranked
+        )
+
+        # ... and the regression surfaces in the rendered HTML too.
+        ledger = Ledger(str(tmp_path / "ledger"))
+        ledger.append(baseline_record)
+        ledger.append(mutated)
+        html = render_dashboard(ledger)
+        assert "sched_attempts" in html
+        assert "regressed" in html
+
+
+class TestQueries:
+    def test_trend_and_metric_paths_with_dotted_benchmarks(
+        self, baseline_record
+    ):
+        value = metric_value(baseline_record, "effort.sched_attempts")
+        assert value and value > 0
+        speedup = metric_value(
+            baseline_record, "experiments.table2.101.tomcatv.selective"
+        )
+        assert speedup and speedup > 1.0
+        points = trend([baseline_record], "effort.sched_attempts")
+        assert points[0][1] == value
+
+    def test_spark_line_shapes(self):
+        assert spark_line([]) == ""
+        assert spark_line([1.0, None, 8.0]) == "▁ █"
+        assert len(spark_line([2.0, 2.0, 2.0])) == 3
+
+    def test_outliers_need_a_genuine_spike(self, baseline_record):
+        import dataclasses
+
+        runs = []
+        for i in range(6):
+            runs.append(
+                dataclasses.replace(
+                    baseline_record,
+                    run_id=f"run-100{i}",
+                    wall_s=1.0 + 0.01 * i,
+                )
+            )
+        assert outliers(runs, "wall_s") == []
+        runs.append(
+            dataclasses.replace(
+                baseline_record, run_id="run-spike", wall_s=60.0
+            )
+        )
+        found = outliers(runs, "wall_s")
+        assert [o.record.run_id for o in found] == ["run-spike"]
+
+
+class _Skeleton(HTMLParser):
+    """Structural skeleton: (tag, id, class) per element, plus a stack
+    check that every non-void element closes."""
+
+    VOID = {"meta", "br", "hr", "img", "input", "link", "circle"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.nodes: list[tuple[str, str, str]] = []
+        self.stack: list[str] = []
+
+    def handle_starttag(self, tag, attrs):
+        d = dict(attrs)
+        self.nodes.append((tag, d.get("id", ""), d.get("class", "")))
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        d = dict(attrs)
+        self.nodes.append((tag, d.get("id", ""), d.get("class", "")))
+
+    def handle_endtag(self, tag):
+        assert self.stack and self.stack[-1] == tag, (
+            f"mis-nested </{tag}>, open stack {self.stack[-6:]}"
+        )
+        self.stack.pop()
+
+
+def _skeleton(html: str) -> list[tuple[str, str, str]]:
+    parser = _Skeleton()
+    parser.feed(html)
+    parser.close()
+    assert parser.stack == [], f"unclosed elements: {parser.stack}"
+    return parser.nodes
+
+
+def _golden_ledger(tmp_path) -> Ledger:
+    """A deterministic two-run ledger (fixed ids, shas, walls)."""
+    ledger = Ledger(str(tmp_path / "golden-ledger"))
+    corpus = {
+        "alpha": {
+            "alpha.L0": {"ii": 4, "res_mii": 3, "rec_mii": 2},
+            "alpha.L1": {"ii": 6, "res_mii": 6, "rec_mii": 1},
+        }
+    }
+    for run_id, created, label, attempts, wall in (
+        ("run-0001", "2026-08-01T00:00:00Z", "cold", 10, 2.0),
+        ("run-0002", "2026-08-02T00:00:00Z", "warm", 12, 0.5),
+    ):
+        payloads = {
+            "table2": {
+                "data": {"alpha": {"traditional": 1.0, "selective": 1.4}},
+                "loops": {
+                    "alpha": {
+                        loop: {"selective": dict(metrics)}
+                        for loop, metrics in corpus["alpha"].items()
+                    }
+                },
+                "telemetry": {
+                    "alpha": {
+                        "selective": {
+                            "loops": 2,
+                            "wall_ms": wall * 1e3,
+                            "sched_attempts": attempts,
+                        }
+                    }
+                },
+            }
+        }
+        perf = {
+            "effort": {"sched_attempts": attempts, "kl_pack_steps": 40},
+            "wall_s": wall,
+            "jobs": 1,
+            "cache_hits": 0,
+            "cache_misses": 2,
+        }
+        ledger.append(
+            record_from_payloads(
+                payloads,
+                perf,
+                run_id=run_id,
+                created_at=created,
+                label=label,
+                git_sha="deadbeefcafe",
+                check={"units": 2, "errors": 0, "findings": 0},
+                notes=["golden fixture run"],
+            )
+        )
+    return ledger
+
+
+class TestRenderedHTML:
+    @pytest.fixture
+    def golden_html(self, tmp_path) -> str:
+        return render_dashboard(_golden_ledger(tmp_path))
+
+    def test_self_contained_no_scripts_no_external_urls(self, golden_html):
+        lowered = golden_html.lower()
+        assert "<script" not in lowered
+        assert "http://" not in lowered
+        assert "https://" not in lowered
+        assert "@import" not in lowered
+        assert 'src="' not in lowered  # no fetched images/iframes
+
+    def test_structure_carries_every_section(self, golden_html):
+        nodes = _skeleton(golden_html)
+        tags = [t for t, _, _ in nodes]
+        assert tags.count("section") == 5
+        assert "svg" in tags and "polyline" in tags
+        assert "details" in tags and "table" in tags
+        # Dark mode is selected, not flipped: both scopes present.
+        assert "prefers-color-scheme: dark" in golden_html
+        assert '[data-theme="dark"]' in golden_html
+        assert "tabular-nums" in golden_html
+
+    def test_regression_table_names_the_exact_delta(self, golden_html):
+        assert "sched_attempts" in golden_html
+        assert "regressed" in golden_html
+
+    def test_matches_frozen_golden_skeleton(self, golden_html):
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            with open(GOLDEN, "w", encoding="utf-8") as f:
+                f.write(golden_html)
+        with open(GOLDEN, encoding="utf-8") as f:
+            frozen = f.read()
+        assert _skeleton(golden_html) == _skeleton(frozen), (
+            "dashboard structure changed; regenerate the golden with "
+            "REPRO_REGEN_GOLDEN=1 if intentional"
+        )
+
+    def test_empty_ledger_renders_a_hint(self, tmp_path):
+        html = render_dashboard(Ledger(str(tmp_path / "empty")))
+        assert "--ledger" in html
+        _skeleton(html)
+
+    def test_sparkline_handles_gaps_and_flat_series(self):
+        svg = svg_sparkline([1.0, None, 3.0, 3.0])
+        assert svg.count("<polyline") == 1
+        assert "<circle" in svg
+        assert "no data" in svg_sparkline([None, None])
+
+
+class TestDashboardCLI:
+    @pytest.fixture
+    def bench_dir(self, tmp_path):
+        d = tmp_path / "bench"
+        d.mkdir()
+        payload = {
+            "schema_version": 1,
+            "experiment": "table2",
+            "data": {"alpha": {"selective": 1.3}},
+            "loops": {"alpha": {"alpha.L0": {"selective": {"ii": 4}}}},
+            "telemetry": {
+                "alpha": {"selective": {"loops": 1, "sched_attempts": 5}}
+            },
+        }
+        (d / "BENCH_table2.json").write_text(json.dumps(payload))
+        perf = {
+            "schema_version": 1,
+            "experiment": "compile_perf",
+            "effort": {"sched_attempts": 5},
+            "wall_s": 0.25,
+            "jobs": 1,
+            "cache_hits": 0,
+            "cache_misses": 1,
+        }
+        (d / "BENCH_compile_perf.json").write_text(json.dumps(perf))
+        return str(d)
+
+    def test_record_list_compare_render(
+        self, bench_dir, tmp_path, capsys, monkeypatch
+    ):
+        ledger_dir = str(tmp_path / "ledger")
+        argv = ["--ledger", ledger_dir, "--bench-dir", bench_dir]
+        assert dashboard_main(["record", *argv, "--label", "one"]) == 0
+        assert dashboard_main(["record", *argv, "--label", "two"]) == 0
+        capsys.readouterr()
+
+        assert dashboard_main(["list", "--ledger", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        assert "one" in out and "two" in out
+
+        # Identical deterministic content: --fail-on-exact passes.
+        assert (
+            dashboard_main(
+                [
+                    "compare",
+                    "--ledger",
+                    ledger_dir,
+                    "prev",
+                    "latest",
+                    "--fail-on-exact",
+                ]
+            )
+            == 0
+        )
+
+        out_html = str(tmp_path / "dash.html")
+        assert (
+            dashboard_main(
+                ["render", "--ledger", ledger_dir, "-o", out_html]
+            )
+            == 0
+        )
+        html = open(out_html, encoding="utf-8").read()
+        assert "<!doctype html>" in html
+        assert "http" + "://" not in html
+
+        # REPRO_LEDGER supplies the directory when --ledger is absent.
+        monkeypatch.setenv("REPRO_LEDGER", ledger_dir)
+        assert dashboard_main(["trend", "effort.sched_attempts"]) == 0
+        trend_out = capsys.readouterr().out
+        assert "5" in trend_out
+
+    def test_record_without_artifacts_fails(self, tmp_path, capsys):
+        code = dashboard_main(
+            [
+                "record",
+                "--ledger",
+                str(tmp_path / "ledger"),
+                "--bench-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+
+    def test_compare_fail_on_exact_flags_a_mutation(
+        self, bench_dir, tmp_path, capsys
+    ):
+        ledger_dir = str(tmp_path / "ledger")
+        argv = ["--ledger", ledger_dir, "--bench-dir", bench_dir]
+        assert dashboard_main(["record", *argv]) == 0
+        perf_path = os.path.join(bench_dir, "BENCH_compile_perf.json")
+        perf = json.loads(open(perf_path).read())
+        perf["effort"]["sched_attempts"] += 7
+        open(perf_path, "w").write(json.dumps(perf))
+        assert dashboard_main(["record", *argv]) == 0
+        code = dashboard_main(
+            [
+                "compare",
+                "--ledger",
+                ledger_dir,
+                "prev",
+                "latest",
+                "--fail-on-exact",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr()
+        assert "sched_attempts" in out.out
+
+    def test_merge_subcommand_folds_shards(
+        self, bench_dir, tmp_path, capsys
+    ):
+        shard_a = str(tmp_path / "shard-a")
+        shard_b = str(tmp_path / "shard-b")
+        assert (
+            dashboard_main(
+                ["record", "--ledger", shard_a, "--bench-dir", bench_dir]
+            )
+            == 0
+        )
+        # Second shard covers a different benchmark.
+        payload = json.loads(
+            open(os.path.join(bench_dir, "BENCH_table2.json")).read()
+        )
+        payload["data"] = {"beta": {"selective": 1.1}}
+        payload["loops"] = {"beta": {"beta.L0": {"selective": {"ii": 7}}}}
+        payload["telemetry"] = {
+            "beta": {"selective": {"loops": 1, "sched_attempts": 3}}
+        }
+        open(os.path.join(bench_dir, "BENCH_table2.json"), "w").write(
+            json.dumps(payload)
+        )
+        perf_path = os.path.join(bench_dir, "BENCH_compile_perf.json")
+        perf = json.loads(open(perf_path).read())
+        perf["effort"]["sched_attempts"] = 3
+        open(perf_path, "w").write(json.dumps(perf))
+        assert (
+            dashboard_main(
+                ["record", "--ledger", shard_b, "--bench-dir", bench_dir]
+            )
+            == 0
+        )
+        merged_dir = str(tmp_path / "merged")
+        assert (
+            dashboard_main(
+                [
+                    "merge",
+                    "--ledger",
+                    merged_dir,
+                    shard_a,
+                    shard_b,
+                    "--label",
+                    "sharded",
+                ]
+            )
+            == 0
+        )
+        records = Ledger(merged_dir).records()
+        assert len(records) == 1
+        assert set(records[0].loops) == {"alpha", "beta"}
+        assert records[0].effort["sched_attempts"] == 8

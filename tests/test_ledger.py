@@ -1,0 +1,426 @@
+"""The run ledger: append-only durability, shard merge, run resolution.
+
+The centerpiece property (hypothesis): **splitting a run into shards and
+merging the shard records equals the serial record modulo wall clock** —
+the deterministic content (experiments, loops, effort, digests) is
+byte-identical, only circumstantial fields (wall, cache traffic) differ.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger import (
+    Ledger,
+    RunRecord,
+    merge_records,
+    record_from_payloads,
+    strip_wall_fields,
+)
+from repro.ledger.record import VOLATILE_FIELDS, WALL_FIELDS
+
+BENCH_POOL = ("alpha", "beta.2", "gamma", "delta")
+COUNTERS = ("sched_attempts", "kl_pack_steps", "kl_probes")
+
+
+def _payloads_for(corpus: dict[str, dict[str, dict]], wall_ms: float):
+    """One experiment payload + perf payload over a benchmark subset,
+    shaped like ``bench_io.collect_experiment`` output."""
+    data = {
+        bench: {"selective": 1.0 + len(loops) / 10.0}
+        for bench, loops in corpus.items()
+    }
+    loops = {
+        bench: {
+            loop: {"selective": dict(metrics)}
+            for loop, metrics in loops_by_name.items()
+        }
+        for bench, loops_by_name in corpus.items()
+    }
+    telemetry = {
+        bench: {
+            "selective": {
+                "loops": len(loops_by_name),
+                "wall_ms": wall_ms,
+                **{
+                    counter: sum(
+                        metrics[counter]
+                        for metrics in loops_by_name.values()
+                    )
+                    for counter in COUNTERS
+                },
+            }
+        }
+        for bench, loops_by_name in corpus.items()
+    }
+    effort = {
+        counter: sum(
+            metrics[counter]
+            for loops_by_name in corpus.values()
+            for metrics in loops_by_name.values()
+        )
+        for counter in COUNTERS
+    }
+    payloads = {
+        "table2": {"data": data, "loops": loops, "telemetry": telemetry}
+    }
+    perf = {
+        "effort": effort,
+        "wall_s": wall_ms / 1e3,
+        "jobs": 1,
+        "cache_hits": 0,
+        "cache_misses": sum(len(v) for v in corpus.values()),
+    }
+    return payloads, perf
+
+
+def _record_for(corpus, label, wall_ms=7.5):
+    payloads, perf = _payloads_for(corpus, wall_ms)
+    return record_from_payloads(
+        payloads,
+        perf,
+        label=label,
+        git_sha="deadbeef",
+        config={"benchmarks": sorted(corpus)},
+    )
+
+
+corpus_strategy = st.dictionaries(
+    st.sampled_from(BENCH_POOL),
+    st.dictionaries(
+        st.sampled_from(["L0", "L1", "L2"]),
+        st.fixed_dictionaries(
+            {
+                "ii": st.integers(1, 40),
+                **{c: st.integers(0, 500) for c in COUNTERS},
+            }
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestShardMerge:
+    @settings(max_examples=40, deadline=None)
+    @given(corpus=corpus_strategy, data=st.data())
+    def test_merge_of_shards_equals_serial_modulo_wall(self, corpus, data):
+        serial = _record_for(corpus, label="serial", wall_ms=100.0)
+        benches = sorted(corpus)
+        n_shards = data.draw(st.integers(1, len(benches)))
+        assignment = data.draw(
+            st.lists(
+                st.integers(0, n_shards - 1),
+                min_size=len(benches),
+                max_size=len(benches),
+            )
+        )
+        shards = []
+        for shard_index in range(n_shards):
+            subset = {
+                bench: corpus[bench]
+                for bench, owner in zip(benches, assignment)
+                if owner == shard_index
+            }
+            if not subset:
+                continue
+            shards.append(
+                _record_for(
+                    subset,
+                    label="shard",
+                    wall_ms=float(10 * (shard_index + 1)),
+                )
+            )
+        merged = merge_records(shards, label="serial")
+        assert merged.comparable_dict() == serial.comparable_dict()
+        assert merged.content_digest() == serial.content_digest()
+        # Circumstantial wall clock sums across shards instead.
+        assert merged.wall_s == pytest.approx(
+            sum(s.wall_s for s in shards)
+        )
+
+    def test_merge_rejects_disagreeing_shards(self):
+        a = _record_for({"alpha": {"L0": {"ii": 4, **{c: 1 for c in COUNTERS}}}}, "a")
+        b = _record_for({"alpha": {"L0": {"ii": 5, **{c: 1 for c in COUNTERS}}}}, "b")
+        with pytest.raises(ValueError, match="disagree"):
+            merge_records([a, b])
+
+    def test_merge_rejects_mixed_commits(self):
+        a = _record_for({"alpha": {"L0": {"ii": 4, **{c: 1 for c in COUNTERS}}}}, "a")
+        b = _record_for({"beta.2": {"L0": {"ii": 5, **{c: 1 for c in COUNTERS}}}}, "b")
+        b.git_sha = "cafef00d"
+        with pytest.raises(ValueError, match="commits"):
+            merge_records([a, b])
+
+
+class TestStore:
+    def test_append_roundtrip_and_index(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger"))
+        r1 = _record_for({"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}}, "one")
+        r2 = _record_for({"beta.2": {"L0": {"ii": 6, **{c: 3 for c in COUNTERS}}}}, "two")
+        ledger.append(r1)
+        ledger.append(r2)
+        records = ledger.records()
+        assert [r.run_id for r in records] == [r1.run_id, r2.run_id]
+        assert records[0].to_dict() == r1.to_dict()
+        index = json.loads((tmp_path / "ledger" / "index.json").read_text())
+        assert set(index["runs"]) == {r1.run_id, r2.run_id}
+        assert index["runs"][r1.run_id]["content_digest"] == r1.content_digest()
+
+    def test_torn_tail_is_skipped_with_warning(self, tmp_path):
+        warnings: list[str] = []
+        ledger = Ledger(str(tmp_path / "ledger"), warn=warnings.append)
+        r1 = _record_for({"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}}, "ok")
+        ledger.append(r1)
+        # A writer crashed mid-append: half a record, no newline.
+        with open(ledger.runs_path, "ab") as f:
+            f.write(b'{"run_id": "torn-run", "created')
+        records = ledger.records()
+        assert [r.run_id for r in records] == [r1.run_id]
+        assert any("torn" in w for w in warnings)
+
+    def test_corrupt_middle_line_is_skipped_with_warning(self, tmp_path):
+        warnings: list[str] = []
+        ledger = Ledger(str(tmp_path / "ledger"), warn=warnings.append)
+        r1 = _record_for({"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}}, "a")
+        ledger.append(r1)
+        with open(ledger.runs_path, "ab") as f:
+            f.write(b"this is not json\n")
+            f.write(b'{"created_at": "2026-01-01T00:00:00Z"}\n')  # no run_id
+        r2 = _record_for({"gamma": {"L0": {"ii": 5, **{c: 2 for c in COUNTERS}}}}, "b")
+        ledger.append(r2)
+        records = ledger.records()
+        assert [r.run_id for r in records] == [r1.run_id, r2.run_id]
+        assert len([w for w in warnings if "unreadable" in w]) >= 2
+
+    def test_append_is_a_single_complete_line(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger"))
+        record = _record_for(
+            {"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}}, "x"
+        )
+        ledger.append(record)
+        raw = open(ledger.runs_path, "rb").read()
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+
+    def test_resolve_references(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger"))
+        rs = [
+            _record_for(
+                {"alpha": {"L0": {"ii": i, **{c: 1 for c in COUNTERS}}}},
+                f"r{i}",
+            )
+            for i in (1, 2, 3)
+        ]
+        for r in rs:
+            ledger.append(r)
+        assert ledger.resolve("latest").run_id == rs[2].run_id
+        assert ledger.resolve("prev").run_id == rs[1].run_id
+        assert ledger.resolve("-3").run_id == rs[0].run_id
+        assert ledger.resolve(rs[0].run_id).run_id == rs[0].run_id
+        # A unique prefix resolves; an unknown one raises.
+        assert (
+            ledger.resolve(rs[1].run_id[:-2]).run_id == rs[1].run_id
+        )
+        with pytest.raises(KeyError):
+            ledger.resolve("no-such-run")
+
+    def test_missing_ledger_reads_empty(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "nope"))
+        assert ledger.records() == []
+        with pytest.raises(KeyError):
+            ledger.resolve("latest")
+
+
+class TestRecord:
+    def test_comparable_dict_drops_volatile_and_identity(self):
+        record = _record_for(
+            {"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}},
+            "cold",
+            wall_ms=500.0,
+        )
+        tree = record.comparable_dict()
+        blob = json.dumps(tree)
+        for key in ("run_id", "created_at", "label", "wall_ms", "wall_s"):
+            assert f'"{key}"' not in blob
+        assert "cache_hits" not in blob and "cache_misses" not in blob
+
+    def test_cold_and_warm_runs_share_a_content_digest(self):
+        corpus = {"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}}
+        cold = _record_for(corpus, "cold", wall_ms=900.0)
+        warm = _record_for(corpus, "warm", wall_ms=30.0)
+        warm.cache = {"hits": 9, "misses": 0, "compile_cache": True}
+        assert cold.content_digest() == warm.content_digest()
+
+    def test_strip_wall_fields_is_recursive(self):
+        tree = {
+            "wall_s": 1.0,
+            "keep": {"cache_hits": 3, "ii": 4, "inner": [{"wall_ms": 9}]},
+        }
+        assert strip_wall_fields(tree) == {
+            "keep": {"ii": 4, "inner": [{}]}
+        }
+        assert WALL_FIELDS < VOLATILE_FIELDS
+
+    def test_from_dict_requires_identity(self):
+        with pytest.raises(ValueError, match="run_id"):
+            RunRecord.from_dict({"created_at": "2026-01-01T00:00:00Z"})
+
+    def test_from_dict_ignores_unknown_fields(self):
+        record = RunRecord.from_dict(
+            {
+                "run_id": "r",
+                "created_at": "2026-01-01T00:00:00Z",
+                "some_future_field": 42,
+            }
+        )
+        assert record.run_id == "r"
+
+
+class TestConcurrentAppend:
+    def test_interleaved_appends_all_survive(self, tmp_path):
+        """Two processes appending concurrently interleave whole lines."""
+        import multiprocessing
+
+        root = str(tmp_path / "ledger")
+        corpus = {"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}}
+        Ledger(root).append(_record_for(corpus, "seed"))
+
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_append_many, args=(root, corpus, i))
+            for i in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        records = Ledger(root).records()
+        assert len(records) == 1 + 4 * 5
+        assert len({r.run_id for r in records}) == len(records)
+
+
+def _append_many(root: str, corpus: dict, worker: int) -> None:
+    ledger = Ledger(root)
+    for i in range(5):
+        ledger.append(_record_for(corpus, f"w{worker}.{i}"))
+
+
+class TestCanonicalArtifacts:
+    """BENCH_*.json writes are canonical and churn-free: a re-run whose
+    only difference is wall clock / cache traffic leaves the committed
+    artifact byte-identical."""
+
+    PAYLOAD = {
+        "schema_version": 1,
+        "experiment": "table2",
+        "data": {"alpha": {"selective": 1.25}},
+        "telemetry": {
+            "alpha": {
+                "selective": {
+                    "loops": 1,
+                    "wall_ms": 12.3456789,
+                    "sched_attempts": 5,
+                    "cache_hits": 0,
+                    "cache_misses": 1,
+                }
+            }
+        },
+    }
+
+    def test_wall_floats_are_rounded_and_newline_terminated(self, tmp_path):
+        from repro.evaluation.bench_io import write_bench_json
+
+        path = write_bench_json("table2", dict(self.PAYLOAD), str(tmp_path))
+        raw = open(path, encoding="utf-8").read()
+        assert raw.endswith("}\n")
+        assert json.loads(raw)["telemetry"]["alpha"]["selective"][
+            "wall_ms"
+        ] == pytest.approx(12.346)
+
+    def test_noop_rerun_leaves_the_artifact_untouched(self, tmp_path):
+        from repro.evaluation.bench_io import write_bench_json
+
+        path = write_bench_json("table2", dict(self.PAYLOAD), str(tmp_path))
+        before = open(path, "rb").read()
+        rerun = json.loads(json.dumps(self.PAYLOAD))
+        # Only volatile circumstance moved: wall clock and cache split.
+        row = rerun["telemetry"]["alpha"]["selective"]
+        row["wall_ms"] = 99.9
+        row["cache_hits"], row["cache_misses"] = 1, 0
+        write_bench_json("table2", rerun, str(tmp_path))
+        assert open(path, "rb").read() == before
+
+    def test_deterministic_change_rewrites_the_artifact(self, tmp_path):
+        from repro.evaluation.bench_io import write_bench_json
+
+        path = write_bench_json("table2", dict(self.PAYLOAD), str(tmp_path))
+        changed = json.loads(json.dumps(self.PAYLOAD))
+        changed["telemetry"]["alpha"]["selective"]["sched_attempts"] = 6
+        write_bench_json("table2", changed, str(tmp_path))
+        written = json.loads(open(path, encoding="utf-8").read())
+        assert (
+            written["telemetry"]["alpha"]["selective"]["sched_attempts"]
+            == 6
+        )
+
+    def test_older_format_artifacts_are_tolerated(self, tmp_path):
+        """An artifact written by an earlier bench_io (unsorted keys,
+        unrounded walls, no trailing newline) still counts as equivalent
+        when its deterministic content matches."""
+        from repro.evaluation.bench_io import artifact_name, write_bench_json
+
+        path = os.path.join(str(tmp_path), artifact_name("table2"))
+        legacy = json.loads(json.dumps(self.PAYLOAD))
+        legacy["telemetry"]["alpha"]["selective"]["wall_ms"] = 12.3456789
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(legacy, f)  # unsorted, compact, no newline
+        write_bench_json("table2", dict(self.PAYLOAD), str(tmp_path))
+        raw = open(path, encoding="utf-8").read()
+        assert not raw.endswith("\n")  # equivalent: left untouched
+
+    def test_baseline_write_is_churn_free_too(self, tmp_path):
+        from repro.evaluation.bench_io import write_baseline
+
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, {"table2": dict(self.PAYLOAD)})
+        before = open(path, "rb").read()
+        rerun = json.loads(json.dumps(self.PAYLOAD))
+        rerun["telemetry"]["alpha"]["selective"]["wall_ms"] = 1.0
+        write_baseline(path, {"table2": rerun})
+        assert open(path, "rb").read() == before
+
+
+class TestRecordFromPayloads:
+    def test_compile_perf_payload_is_used_not_duplicated(self):
+        payloads, perf = _payloads_for(
+            {"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}}, 5.0
+        )
+        payloads["compile_perf"] = perf
+        record = record_from_payloads(payloads, git_sha="deadbeef")
+        assert "compile_perf" not in record.experiments
+        assert record.effort == perf["effort"]
+        assert record.config["experiments"] == ["table2"]
+
+    def test_corpus_digest_tracks_loop_population(self):
+        small = _record_for(
+            {"alpha": {"L0": {"ii": 4, **{c: 2 for c in COUNTERS}}}}, "s"
+        )
+        large = _record_for(
+            {
+                "alpha": {
+                    "L0": {"ii": 4, **{c: 2 for c in COUNTERS}},
+                    "L1": {"ii": 6, **{c: 2 for c in COUNTERS}},
+                }
+            },
+            "l",
+        )
+        assert small.corpus_digest != large.corpus_digest

@@ -268,6 +268,40 @@ class TestProgressMonitor:
         # One tick per clock second, 2.5 s interval: not every tick emits.
         assert len(payloads) < 6 + 1
 
+    def test_require_tty_suppresses_non_tty_stream(self):
+        stream = io.StringIO()  # not a terminal
+        monitor = self._monitor(
+            total=4, stream=stream, interval_s=0.0, require_tty=True
+        )
+        for i in range(4):
+            monitor.tick(f"L{i}", "selective")
+        monitor.finish()
+        assert stream.getvalue() == ""
+        # The heartbeats still fired (JSON sinks would have been fed).
+        assert monitor.heartbeats > 0
+
+    def test_require_tty_emits_on_a_terminal(self):
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = FakeTty()
+        monitor = self._monitor(
+            total=2, stream=stream, interval_s=0.0, require_tty=True
+        )
+        monitor.tick("L0", "selective")
+        monitor.finish()
+        assert "[progress]" in stream.getvalue()
+
+    def test_explicit_progress_ignores_tty_state(self):
+        stream = io.StringIO()
+        monitor = self._monitor(
+            total=2, stream=stream, interval_s=0.0, require_tty=False
+        )
+        monitor.tick("L0", "selective")
+        monitor.finish()
+        assert "[progress]" in stream.getvalue()
+
     def test_evaluator_ticks_progress_including_cache_hits(self, tmp_path):
         monitor = ProgressMonitor(stream=None, interval_s=1e9)
         evaluator = Evaluator(
@@ -331,6 +365,34 @@ class TestHistory:
         assert rows, "committed BENCH_compile_perf.json should have history"
         for row in rows:
             assert row.effort.get("sched_attempts", 0) > 0
+
+    def test_broken_commits_warn_and_skip(self, history_repo, tmp_path):
+        """A briefly broken artifact never aborts the timeline: the bad
+        commits are skipped with a warning, the healthy ones survive."""
+        env_git = ["git", "-C", history_repo]
+
+        def run(*argv):
+            subprocess.run(argv, check=True, capture_output=True)
+
+        artifact = tmp_path / "repo" / "BENCH_compile_perf.json"
+        artifact.write_text('{"loops": 36, "wall_s"')  # truncated JSON
+        run(*env_git, "add", "BENCH_compile_perf.json")
+        run(*env_git, "commit", "-q", "-m", "broken artifact")
+        artifact.write_text(
+            json.dumps(
+                {"loops": "not-a-number", "wall_s": 0.4, "effort": {}}
+            )
+        )
+        run(*env_git, "add", "BENCH_compile_perf.json")
+        run(*env_git, "commit", "-q", "-m", "malformed fields")
+
+        warnings: list[str] = []
+        rows = perf_history(history_repo, warn=warnings.append)
+        assert [r.effort["kl_pack_steps"] for r in rows] == [180, 100]
+        assert any("unparsable" in w for w in warnings)
+        assert any("malformed" in w for w in warnings)
+        # render_history still works over the surviving rows.
+        assert "kl_pack_steps" in render_history(rows)
 
 
 class TestProfilingCLI:
