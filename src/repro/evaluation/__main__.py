@@ -303,6 +303,7 @@ def main(argv: list[str] | None = None) -> int:
         recorder = session.__enter__()
     payloads: dict[str, dict[str, object]] = {}
     run_start = time.time()
+    evaluator = None
     try:
         evaluator = Evaluator(
             jobs=args.jobs,
@@ -321,6 +322,8 @@ def main(argv: list[str] | None = None) -> int:
             session.__exit__(None, None, None)
         if progress is not None:
             progress.finish()
+        if evaluator is not None:
+            evaluator.close()
 
     perf = bench_io.compile_perf_payload(
         evaluator, names, wall_s=time.time() - run_start

@@ -197,6 +197,36 @@ class Evaluator:
         self._benchmarks: dict[str, Benchmark] = {}
         self._compiled: dict[tuple[str, str], list[CompiledLoop]] = {}
         self.telemetry: dict[tuple[str, str], CompileTelemetry] = {}
+        self._pool = None
+
+    # ------------------------------------------------------------------
+
+    def _executor(self):
+        """The shared worker pool, created on first parallel fan-out and
+        reused by every subsequent batch (forking a fresh pool per batch
+        costs a worker warm-up each time ``prewarm`` or a table runner
+        triggers compilation)."""
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the shared worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -294,34 +324,28 @@ class Evaluator:
 
         batch_wall: dict[tuple[str, str], float] = {}
         if self.jobs > 1 and len(misses) > 1:
-            import multiprocessing
-            from concurrent.futures import ProcessPoolExecutor
-
             start = time.perf_counter()
-            with ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                # pool.map streams results back in submission order, so
-                # the progress monitor ticks as workers finish rather
-                # than after the whole fan-out drains.
-                for (key, i, args, entry_key), (compiled, loop_ms) in zip(
-                    misses,
-                    pool.map(
-                        _timed_compile_job,
-                        [args for _, _, args, _ in misses],
-                    ),
-                ):
-                    slots[key][i] = compiled
-                    if cache is not None and entry_key is not None:
-                        cache.store(entry_key, compiled)
-                    if progress is not None:
-                        progress.tick(
-                            args[0].name,
-                            key[1],
-                            wall_ms=loop_ms,
-                            effort=_loop_effort(compiled),
-                        )
+            pool = self._executor()
+            # pool.map streams results back in submission order, so
+            # the progress monitor ticks as workers finish rather
+            # than after the whole fan-out drains.
+            for (key, i, args, entry_key), (compiled, loop_ms) in zip(
+                misses,
+                pool.map(
+                    _timed_compile_job,
+                    [args for _, _, args, _ in misses],
+                ),
+            ):
+                slots[key][i] = compiled
+                if cache is not None and entry_key is not None:
+                    cache.store(entry_key, compiled)
+                if progress is not None:
+                    progress.tick(
+                        args[0].name,
+                        key[1],
+                        wall_ms=loop_ms,
+                        effort=_loop_effort(compiled),
+                    )
             elapsed_ms = (time.perf_counter() - start) * 1e3
             for (key, _, _, _) in misses:
                 # Attribute the fan-out's wall time by miss share.

@@ -126,12 +126,44 @@ class MachineDescription:
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
-        for slot in ("_rc_memo", "_opcode_memo"):
+        for slot in ("_rc_memo", "_opcode_memo", "_layout_memo", "_spec_memo"):
             state.pop(slot, None)
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+
+    def instance_layout(self) -> tuple[tuple[str, ...], dict[str, tuple[int, int]]]:
+        """The flat resource-instance layout, memoized: every instance
+        name in declaration order, plus each class's ``(first index,
+        count)`` span in that flat order.  The bitset reservation table
+        addresses instances by flat index instead of name."""
+        memo = self._memo("_layout_memo")
+        layout = memo.get("layout")
+        if layout is None:
+            names: list[str] = []
+            spans: dict[str, tuple[int, int]] = {}
+            for rc in self.resources:
+                spans[rc.name] = (len(names), rc.count)
+                names.extend(rc.instances())
+            layout = (tuple(names), spans)
+            memo["layout"] = layout
+        return layout
+
+    def reservation_spec(self, info: OpcodeInfo) -> tuple[tuple[int, int, int], ...]:
+        """An opcode's resource uses resolved against the flat instance
+        layout, memoized: one ``(first index, instance count, busy
+        cycles)`` triple per use, in use order — everything the modulo
+        reservation table's bitmask scan needs, with no name lookups."""
+        memo = self._memo("_spec_memo")
+        spec = memo.get(info)
+        if spec is None:
+            _, spans = self.instance_layout()
+            spec = tuple(
+                (*spans[use.resource], use.cycles) for use in info.uses
+            )
+            memo[info] = spec
+        return spec
 
     def resource_class(self, name: str) -> ResourceClass:
         memo = self._memo("_rc_memo")

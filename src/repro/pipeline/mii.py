@@ -7,14 +7,22 @@ the smallest II admitting no positive-weight dependence cycle under edge
 weights ``delay(e) - II * distance(e)``, found by binary search with
 Bellman-Ford positive-cycle detection.
 
+The Bellman-Ford probes run on :class:`GraphArrays` — the dependence
+graph flattened once per loop into dense-index edge arrays with a
+preallocated distance scratch — so each of the O(log II) probes of the
+binary search is pure list indexing with no dict hashing and no
+per-probe allocation beyond the weight table.  The hot detector
+(:func:`_relax_fast`) skips predecessor tracking entirely; the
+predecessor-tracking variant (:func:`_relax_pred`) runs only for
+critical-cycle extraction, off the hot path.
+
 Both bounds come back as :class:`int` subclasses that additionally carry
 *why* the bound is what it is: :class:`ResMII` holds the per-resource
 pressure table and the bottleneck resource instance; :class:`RecMII`
 holds the critical recurrence cycle (the dependence edges whose
-delay/distance ratio pins the bound), extracted by predecessor tracking
-in the Bellman-Ford relaxation.  Existing arithmetic/comparison callers
-are unaffected — the provenance rides along for the remark emitters and
-the ``--explain`` renderers.
+delay/distance ratio pins the bound).  Existing arithmetic/comparison
+callers are unaffected — the provenance rides along for the remark
+emitters and the ``--explain`` renderers.
 """
 
 from __future__ import annotations
@@ -138,12 +146,228 @@ def edge_delay(
 def edge_delays(
     graph: DependenceGraph, machine: MachineDescription
 ) -> dict[DepEdge, int]:
-    """Per-edge delay table, computed once per (loop, machine).
-
-    Shared by ``res_mii``/``rec_mii``/``_heights``/``_try_schedule`` so
-    the repeated opcode resolution per edge per relaxation round (and per
-    II probe of the RecMII binary search) happens exactly once."""
+    """Per-edge delay table as a dict — the shape external callers (the
+    oracle, the schedule checker) consume."""
     return {e: edge_delay(e, graph, machine) for e in graph.edges}
+
+
+class GraphArrays:
+    """A dependence graph flattened to dense-index edge arrays.
+
+    Built once per (loop, machine); every Bellman-Ford probe, height
+    relaxation, and scheduling pass then works on parallel int lists —
+    ``esrc``/``edst`` (dense node indices), ``delay``/``edist`` (edge
+    delay and iteration distance) — in ``graph.edges`` order, with
+    ``_dist``/``_pred`` scratch reused across probes.
+    """
+
+    __slots__ = (
+        "graph",
+        "uids",
+        "index",
+        "edges",
+        "esrc",
+        "edst",
+        "delay",
+        "edist",
+        "max_delay",
+        "_dist",
+        "_pred",
+    )
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        machine: MachineDescription,
+        delays: dict[DepEdge, int] | None = None,
+    ):
+        self.graph = graph
+        self.uids = list(graph.node_ids())
+        index = {uid: i for i, uid in enumerate(self.uids)}
+        self.index = index
+        edges = list(graph.edges)
+        self.edges = edges
+        self.esrc = [index[e.src] for e in edges]
+        self.edst = [index[e.dst] for e in edges]
+        if delays is None:
+            self.delay = [edge_delay(e, graph, machine) for e in edges]
+        else:
+            self.delay = [delays[e] for e in edges]
+        self.edist = [e.distance for e in edges]
+        self.max_delay = max(self.delay, default=0)
+        self._dist = [0] * len(self.uids)
+        self._pred = [-1] * len(self.uids)
+
+
+def _relax_fast(arrays: GraphArrays, ii: int) -> int:
+    """Bellman-Ford longest-path relaxation under weights
+    ``delay - ii*distance``, detection only (no predecessor tracking).
+    Returns a dense node index that still relaxed on the |V|-th round —
+    the positive-cycle witness — or ``-1`` when no positive cycle exists.
+
+    Distances live in the arrays' preallocated scratch; the only per-call
+    allocation is the II-weighted edge table.
+    """
+    dist = arrays._dist
+    n = len(dist)
+    for i in range(n):
+        dist[i] = 0
+    edist = arrays.edist
+    weights = [
+        (s, d, dl - ii * di)
+        for s, d, dl, di in zip(arrays.esrc, arrays.edst, arrays.delay, edist)
+    ]
+    m = len(weights)
+    witness = -1
+    relaxations = 0
+    rounds = 0
+    try:
+        for _ in range(n):
+            rounds += 1
+            changed = False
+            for s, d, w in weights:
+                nd = dist[s] + w
+                if nd > dist[d]:
+                    dist[d] = nd
+                    changed = True
+                    witness = d
+                    relaxations += 1
+            if not changed:
+                return -1
+        return witness
+    finally:
+        rec = active_recorder()
+        if rec is not None:
+            rec.count("mii.bf_runs")
+            rec.count("mii.bf_relaxations", relaxations)
+            rec.count("mii.bf_edges_scanned", rounds * m)
+
+
+def _relax_pred(arrays: GraphArrays, ii: int) -> tuple[list[int], int]:
+    """Like :func:`_relax_fast` but tracking, per dense node index, the
+    index of the edge that last relaxed it (``-1`` = never relaxed).
+    Returns ``(pred, witness)``.  Off the hot path: only the one or two
+    critical-cycle extractions per loop pay for the tracking."""
+    dist = arrays._dist
+    pred = arrays._pred
+    n = len(dist)
+    for i in range(n):
+        dist[i] = 0
+        pred[i] = -1
+    weights = [
+        (j, s, d, dl - ii * di)
+        for j, (s, d, dl, di) in enumerate(
+            zip(arrays.esrc, arrays.edst, arrays.delay, arrays.edist)
+        )
+    ]
+    m = len(weights)
+    witness = -1
+    relaxations = 0
+    rounds = 0
+    try:
+        for _ in range(n):
+            rounds += 1
+            changed = False
+            for j, s, d, w in weights:
+                nd = dist[s] + w
+                if nd > dist[d]:
+                    dist[d] = nd
+                    pred[d] = j
+                    changed = True
+                    witness = d
+                    relaxations += 1
+            if not changed:
+                return pred, -1
+        return pred, witness
+    finally:
+        rec = active_recorder()
+        if rec is not None:
+            rec.count("mii.bf_runs")
+            rec.count("mii.bf_relaxations", relaxations)
+            rec.count("mii.bf_edges_scanned", rounds * m)
+
+
+def _relax(
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    delays: dict[DepEdge, int] | None = None,
+    dist: dict[int, int] | None = None,
+    arrays: GraphArrays | None = None,
+) -> tuple[dict[int, DepEdge], int | None]:
+    """Dict-shaped view of the flat relaxation (the original public
+    contract): returns the predecessor-edge map keyed by uid and the
+    witness uid (``None`` when no positive cycle exists).  ``dist``, when
+    given, is refilled with the final per-uid distances."""
+    if arrays is None:
+        arrays = GraphArrays(graph, machine, delays)
+    pred_idx, witness = _relax_pred(arrays, ii)
+    uids = arrays.uids
+    if dist is not None:
+        scratch = arrays._dist
+        for i, uid in enumerate(uids):
+            dist[uid] = scratch[i]
+    pred = {
+        uids[d]: arrays.edges[j]
+        for d, j in enumerate(pred_idx)
+        if j >= 0
+    }
+    return pred, (None if witness < 0 else uids[witness])
+
+
+def _has_positive_cycle(
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    delays: dict[DepEdge, int] | None = None,
+    dist: dict[int, int] | None = None,
+    arrays: GraphArrays | None = None,
+) -> bool:
+    """Does any cycle have positive total weight ``delay - ii*distance``?"""
+    if arrays is None:
+        arrays = GraphArrays(graph, machine, delays)
+    witness = _relax_fast(arrays, ii)
+    if dist is not None:
+        scratch = arrays._dist
+        for i, uid in enumerate(arrays.uids):
+            dist[uid] = scratch[i]
+    return witness >= 0
+
+
+def _extract_cycle_edges(arrays: GraphArrays, ii: int) -> list[DepEdge]:
+    """The edges of one positive-weight cycle at ``ii`` (empty when no
+    such cycle exists).  The witness of the final relaxation round is
+    walked back |V| predecessor steps to land inside the cycle, then the
+    cycle is collected."""
+    pred, witness = _relax_pred(arrays, ii)
+    if witness < 0:
+        return []
+    esrc = arrays.esrc
+    node = witness
+    for _ in range(len(arrays.uids)):
+        node = esrc[pred[node]]
+    cycle: list[DepEdge] = []
+    cur = node
+    for _ in range(len(arrays.uids) + 1):
+        j = pred[cur]
+        cycle.append(arrays.edges[j])
+        cur = esrc[j]
+        if cur == node:
+            break
+    cycle.reverse()
+    return cycle
+
+
+def _extract_positive_cycle(
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    delays: dict[DepEdge, int] | None = None,
+    arrays: GraphArrays | None = None,
+) -> list[DepEdge]:
+    if arrays is None:
+        arrays = GraphArrays(graph, machine, delays)
+    return _extract_cycle_edges(arrays, ii)
 
 
 def res_mii(loop: Loop, machine: MachineDescription) -> ResMII:
@@ -164,118 +388,26 @@ def res_mii(loop: Loop, machine: MachineDescription) -> ResMII:
     return ResMII(max(1, high), pressure=bins.weights, bottleneck=bottleneck)
 
 
-def _relax(
-    graph: DependenceGraph,
-    machine: MachineDescription,
-    ii: int,
-    delays: dict[DepEdge, int] | None = None,
-    dist: dict[int, int] | None = None,
-) -> tuple[dict[int, DepEdge], int | None]:
-    """Bellman-Ford longest-path relaxation under weights
-    ``delay - ii*distance`` with predecessor tracking.  Returns the
-    predecessor-edge map and a node that still relaxed on the |V|-th
-    round (``None`` when no positive cycle exists).
-
-    ``delays`` is the precomputed :func:`edge_delays` table; ``dist`` an
-    optional scratch distance array reused (and reset) across the RecMII
-    binary search's II probes."""
-    nodes = graph.node_ids()
-    if delays is None:
-        delays = edge_delays(graph, machine)
-    if dist is None:
-        dist = {}
-    for n in nodes:
-        dist[n] = 0
-    pred: dict[int, DepEdge] = {}
-    weights = [(e, delays[e] - ii * e.distance) for e in graph.edges]
-    witness: int | None = None
-    relaxations = 0
-    rounds = 0
-    try:
-        for _ in range(len(nodes)):
-            rounds += 1
-            changed = False
-            for e, w in weights:
-                if dist[e.src] + w > dist[e.dst]:
-                    dist[e.dst] = dist[e.src] + w
-                    pred[e.dst] = e
-                    changed = True
-                    witness = e.dst
-                    relaxations += 1
-            if not changed:
-                return pred, None
-        return pred, witness
-    finally:
-        rec = active_recorder()
-        if rec is not None:
-            rec.count("mii.bf_runs")
-            rec.count("mii.bf_relaxations", relaxations)
-            rec.count("mii.bf_edges_scanned", rounds * len(weights))
-
-
-def _has_positive_cycle(
-    graph: DependenceGraph,
-    machine: MachineDescription,
-    ii: int,
-    delays: dict[DepEdge, int] | None = None,
-    dist: dict[int, int] | None = None,
-) -> bool:
-    """Does any cycle have positive total weight ``delay - ii*distance``?"""
-    _, witness = _relax(graph, machine, ii, delays, dist)
-    return witness is not None
-
-
-def _extract_positive_cycle(
-    graph: DependenceGraph,
-    machine: MachineDescription,
-    ii: int,
-    delays: dict[DepEdge, int] | None = None,
-) -> list[DepEdge]:
-    """The edges of one positive-weight cycle at ``ii`` (empty when no
-    such cycle exists).  The witness of the final relaxation round is
-    walked back |V| predecessor steps to land inside the cycle, then the
-    cycle is collected."""
-    pred, witness = _relax(graph, machine, ii, delays)
-    if witness is None:
-        return []
-    node = witness
-    for _ in range(len(graph.ops)):
-        node = pred[node].src
-    cycle: list[DepEdge] = []
-    cur = node
-    for _ in range(len(graph.ops) + 1):
-        edge = pred[cur]
-        cycle.append(edge)
-        cur = edge.src
-        if cur == node:
-            break
-    cycle.reverse()
-    return cycle
-
-
 def rec_mii(
     graph: DependenceGraph,
     machine: MachineDescription,
     delays: dict[DepEdge, int] | None = None,
+    arrays: GraphArrays | None = None,
 ) -> RecMII:
     """Recurrence-constrained minimum II, carrying the critical cycle."""
     if not graph.edges:
         return RecMII(1)
-    if delays is None:
-        delays = edge_delays(graph, machine)
-    dist: dict[int, int] = {}
-    max_delay = max(delays[e] for e in graph.edges)
-    hi = max(1, max_delay * len(graph.ops))
-    if _has_positive_cycle(graph, machine, hi, delays, dist):
+    if arrays is None:
+        arrays = GraphArrays(graph, machine, delays)
+    hi = max(1, arrays.max_delay * len(graph.ops))
+    if _relax_fast(arrays, hi) >= 0:
         # A cycle positive at an II exceeding any delay/distance ratio can
         # only carry zero total distance: the loop body cycles on itself.
-        raise DependenceCycleError(
-            graph, _extract_positive_cycle(graph, machine, hi, delays)
-        )
+        raise DependenceCycleError(graph, _extract_cycle_edges(arrays, hi))
     lo = 1
     while lo < hi:
         mid = (lo + hi) // 2
-        if _has_positive_cycle(graph, machine, mid, delays, dist):
+        if _relax_fast(arrays, mid) >= 0:
             lo = mid + 1
         else:
             hi = mid
@@ -283,8 +415,9 @@ def rec_mii(
         return RecMII(1)
     # A cycle still positive one II below the bound achieves exactly
     # ceil(delay/distance) == lo: the critical recurrence.
-    cycle = _extract_positive_cycle(graph, machine, lo - 1, delays)
-    delay = sum(delays[e] for e in cycle)
+    cycle = _extract_cycle_edges(arrays, lo - 1)
+    delay_of = dict(zip(arrays.edges, arrays.delay))
+    delay = sum(delay_of[e] for e in cycle)
     distance = sum(e.distance for e in cycle)
     return RecMII(lo, cycle, delay, distance)
 
@@ -294,8 +427,9 @@ def minimum_ii(
     graph: DependenceGraph,
     machine: MachineDescription,
     delays: dict[DepEdge, int] | None = None,
+    arrays: GraphArrays | None = None,
 ) -> tuple[int, ResMII, RecMII]:
     """(MII, ResMII, RecMII)."""
     res = res_mii(loop, machine)
-    rec = rec_mii(graph, machine, delays)
+    rec = rec_mii(graph, machine, delays, arrays)
     return max(res, rec), res, rec

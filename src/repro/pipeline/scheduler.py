@@ -8,6 +8,20 @@ cycles for a resource-feasible slot; when none exists the operation is
 force-placed, evicting resource conflicts and unscheduling dependence
 violators.  A budget bounds the total number of placements; exhausting it
 moves on to II+1.
+
+The inner loop runs on flat state: :class:`_SchedulerState` remaps every
+operation to a dense index once per loop (extending the graph's
+:class:`~repro.pipeline.mii.GraphArrays` numbering with any body ops the
+graph omits), so scheduled times, last-placement memory, and the ready
+set are plain lists; dependence walks follow edge-index adjacency into
+the shared edge arrays; and resource placement goes through the
+reservation table's probe/commit tokens — one bitmask scan per candidate
+cycle, with the successful probe reused as the placement instead of a
+second scan.  The schedule produced is bit-identical to the original
+dict implementation's, including ``times`` dict insertion order (the
+placement order list is replayed last-occurrence-first) and the jitter
+variants' RNG draw sequence (perturbations are applied in body order,
+choices drawn per fitting-slot count).
 """
 
 from __future__ import annotations
@@ -21,7 +35,7 @@ from repro.ir.operations import Operation
 from repro.machine.machine import MachineDescription
 from repro.observability.recorder import Recorder, active_recorder, maybe_span
 from repro.dependence.graph import DepEdge
-from repro.pipeline.mii import RecMII, ResMII, edge_delays, minimum_ii
+from repro.pipeline.mii import GraphArrays, RecMII, ResMII, edge_delays, minimum_ii
 from repro.pipeline.reservation import ModuloReservationTable
 
 
@@ -67,28 +81,90 @@ class ModuloSchedule:
         return self.ii / self.loop.increment
 
 
-def _heights(
-    loop: Loop,
-    graph: DependenceGraph,
-    machine: MachineDescription,
-    ii: int,
-    delays: dict[DepEdge, int] | None = None,
-) -> dict[int, int]:
+class _SchedulerState:
+    """II-invariant flat scheduling state for one (loop, graph, machine).
+
+    Shared by every II probe and restart variant of a loop's schedule
+    search: the dense uid numbering (graph nodes first, then any body ops
+    the graph omits), per-edge adjacency as edge-index lists in
+    ``graph.edges`` order (matching the graph's own adjacency order), and
+    each body op's resolved reservation spec.
+    """
+
+    __slots__ = (
+        "loop",
+        "graph",
+        "machine",
+        "arrays",
+        "n",
+        "uids",
+        "index",
+        "body_idx",
+        "pos",
+        "pred_e",
+        "succ_e",
+        "specs",
+    )
+
+    def __init__(
+        self,
+        loop: Loop,
+        graph: DependenceGraph,
+        machine: MachineDescription,
+        delays: dict[DepEdge, int] | None = None,
+    ):
+        self.loop = loop
+        self.graph = graph
+        self.machine = machine
+        arrays = GraphArrays(graph, machine, delays)
+        self.arrays = arrays
+        uids = list(arrays.uids)
+        index = dict(arrays.index)
+        for op in loop.body:
+            if op.uid not in index:
+                index[op.uid] = len(uids)
+                uids.append(op.uid)
+        self.uids = uids
+        self.index = index
+        self.n = len(uids)
+        self.body_idx = [index[op.uid] for op in loop.body]
+        pos = [-1] * self.n
+        for p, i in enumerate(self.body_idx):
+            pos[i] = p
+        self.pos = pos
+        pred_e: list[list[int]] = [[] for _ in range(self.n)]
+        succ_e: list[list[int]] = [[] for _ in range(self.n)]
+        for j in range(len(arrays.edges)):
+            succ_e[arrays.esrc[j]].append(j)
+            pred_e[arrays.edst[j]].append(j)
+        self.pred_e = pred_e
+        self.succ_e = succ_e
+        specs: list[tuple[tuple[int, int, int], ...] | None] = [None] * self.n
+        for op, i in zip(loop.body, self.body_idx):
+            specs[i] = machine.reservation_spec(machine.opcode_info(op))
+        self.specs = specs
+
+
+def _heights_flat(state: _SchedulerState, ii: int) -> list[int]:
     """Longest path from each operation to any sink under II-adjusted
-    weights — the scheduling priority.  Converges because MII rules out
-    positive cycles."""
-    if delays is None:
-        delays = edge_delays(graph, machine)
-    height = {op.uid: 0 for op in loop.body}
+    weights — the scheduling priority, as a dense-index list.  Converges
+    because MII rules out positive cycles."""
+    arrays = state.arrays
+    height = [0] * state.n
+    weights = [
+        (s, d, dl - ii * di)
+        for s, d, dl, di in zip(
+            arrays.esrc, arrays.edst, arrays.delay, arrays.edist
+        )
+    ]
     relaxations = 0
     # Relax to fixpoint (bounded by |V| rounds at a feasible II).
-    for _ in range(len(loop.body)):
+    for _ in range(len(state.loop.body)):
         changed = False
-        for edge in graph.edges:
-            w = delays[edge] - ii * edge.distance
-            candidate = height[edge.dst] + w
-            if candidate > height[edge.src]:
-                height[edge.src] = candidate
+        for s, d, w in weights:
+            candidate = height[d] + w
+            if candidate > height[s]:
+                height[s] = candidate
                 changed = True
                 relaxations += 1
         if not changed:
@@ -97,6 +173,23 @@ def _heights(
     if rec is not None:
         rec.count("sched.height_relaxations", relaxations)
     return height
+
+
+def _heights(
+    loop: Loop,
+    graph: DependenceGraph,
+    machine: MachineDescription,
+    ii: int,
+    delays: dict[DepEdge, int] | None = None,
+    state: _SchedulerState | None = None,
+) -> dict[int, int]:
+    """Dict-shaped view of :func:`_heights_flat` (the original public
+    contract, kept for the oracle and standalone callers)."""
+    if state is None:
+        state = _SchedulerState(loop, graph, machine, delays)
+    height = _heights_flat(state, ii)
+    index = state.index
+    return {op.uid: height[index[op.uid]] for op in loop.body}
 
 
 def _try_schedule(
@@ -108,52 +201,70 @@ def _try_schedule(
     jitter_seed: int | None = None,
     rec: Recorder | None = None,
     delays: dict[DepEdge, int] | None = None,
-    base_height: dict[int, int] | None = None,
+    base_height: list[int] | dict[int, int] | None = None,
     body_index: dict[int, int] | None = None,
     by_uid: dict[int, Operation] | None = None,
+    state: _SchedulerState | None = None,
 ) -> dict[int, int] | None:
-    # II-invariant state (delays, body order, uid map) and the per-II
-    # un-jittered heights are computed by the caller once and shared by
-    # the four restart variants; standalone calls fall back to computing
-    # them here.
-    if delays is None:
-        delays = edge_delays(graph, machine)
+    # The II-invariant state and the per-II un-jittered heights are
+    # computed by the caller once and shared by the four restart
+    # variants; standalone calls fall back to computing them here.
+    # ``body_index``/``by_uid`` are subsumed by ``state`` and accepted
+    # for signature compatibility.
+    del body_index, by_uid
+    if state is None:
+        state = _SchedulerState(loop, graph, machine, delays)
     if base_height is None:
-        base_height = _heights(loop, graph, machine, ii, delays)
-    height: dict[int, float] = base_height
+        base = _heights_flat(state, ii)
+    elif isinstance(base_height, dict):
+        base = [0] * state.n
+        for uid, h in base_height.items():
+            base[state.index[uid]] = h
+    else:
+        base = base_height
+
+    height: list[float] = base
     rng = None
     if jitter_seed is not None:
         # Deterministic perturbation: tight kernels (every issue slot
         # full) sometimes defeat the pure height order and earliest-fit
         # placement, and a different exploration order finds the
         # schedule.  Rau's iterative scheme is a heuristic; randomized
-        # restarts are the standard remedy.
+        # restarts are the standard remedy.  Draws happen in body order.
         import random
 
         rng = random.Random(jitter_seed)
-        height = dict(base_height)
-        for uid in height:
-            height[uid] += rng.random() * 2.0
-    if body_index is None:
-        body_index = {op.uid: i for i, op in enumerate(loop.body)}
-    if by_uid is None:
-        by_uid = {op.uid: op for op in loop.body}
+        height = list(base)
+        for i in state.body_idx:
+            height[i] += rng.random() * 2.0
 
-    times: dict[int, int] = {}
-    last_time: dict[int, int] = {}
+    arrays = state.arrays
+    esrc, edst = arrays.esrc, arrays.edst
+    delay, edist = arrays.delay, arrays.edist
+    pred_e, succ_e = state.pred_e, state.succ_e
+    specs = state.specs
+    pos = state.pos
+    n = state.n
+
+    times = [-1] * n  # -1 = unscheduled
+    last_time: list[int | None] = [None] * n
+    order: list[int] = []  # placement order, for dict-order replay
     mrt = ModuloReservationTable(machine, ii)
+    probe = mrt.probe_spec
     placements = 0
     evictions = 0
 
     # Max-heap on (height, reverse body order).
-    ready = [(-height[op.uid], body_index[op.uid], op.uid) for op in loop.body]
+    ready = [(-height[i], pos[i], i) for i in state.body_idx]
     heapq.heapify(ready)
-    in_queue = {op.uid for op in loop.body}
+    in_queue = bytearray(n)
+    for i in state.body_idx:
+        in_queue[i] = 1
 
-    def push(uid: int) -> None:
-        if uid not in in_queue:
-            heapq.heappush(ready, (-height[uid], body_index[uid], uid))
-            in_queue.add(uid)
+    def push(i: int) -> None:
+        if not in_queue[i]:
+            heapq.heappush(ready, (-height[i], pos[i], i))
+            in_queue[i] = 1
 
     while ready:
         if budget <= 0:
@@ -172,22 +283,30 @@ def _try_schedule(
             return None
         budget -= 1
         placements += 1
-        _, _, uid = heapq.heappop(ready)
-        in_queue.discard(uid)
-        op = by_uid[uid]
+        _, _, i = heapq.heappop(ready)
+        in_queue[i] = 0
 
         estart = 0
-        for edge in graph.predecessors(uid):
-            if edge.src == uid or edge.src not in times:
+        for j in pred_e[i]:
+            s = esrc[j]
+            if s == i:
                 continue
-            bound = times[edge.src] + delays[edge] - ii * edge.distance
-            estart = max(estart, bound)
+            ts = times[s]
+            if ts < 0:
+                continue
+            bound = ts + delay[j] - ii * edist[j]
+            if bound > estart:
+                estart = bound
 
-        placed_at: int | None = None
+        spec = specs[i]
+        token = None
+        placed_at = -1
         if rng is None:
-            # Earliest fit: stop scanning at the first feasible slot.
+            # Earliest fit: stop scanning at the first feasible slot, and
+            # keep its probe token as the placement.
             for t in range(estart, estart + ii):
-                if mrt.fits(op, t):
+                token = probe(spec, t)
+                if token is not None:
                     placed_at = t
                     break
         else:
@@ -195,52 +314,87 @@ def _try_schedule(
             # which reaches schedules where an issue row must be left
             # open for a not-yet-scheduled operation — they need the
             # full fitting-slot list.
-            fitting = [t for t in range(estart, estart + ii) if mrt.fits(op, t)]
+            fitting: list[int] = []
+            tokens = []
+            for t in range(estart, estart + ii):
+                tk = probe(spec, t)
+                if tk is not None:
+                    fitting.append(t)
+                    tokens.append(tk)
             if fitting:
-                placed_at = fitting[0]
+                pick = 0
                 if len(fitting) > 1 and rng.random() < 0.5:
-                    placed_at = rng.choice(fitting)
-        if placed_at is not None:
-            mrt.place(op, placed_at)
-        if placed_at is None:
+                    pick = rng.choice(range(len(fitting)))
+                placed_at = fitting[pick]
+                token = tokens[pick]
+        if token is not None:
+            mrt.commit(i, token)
+        else:
             # Force placement, evicting conflicts (Rau's scheme: never
             # retry the exact same slot for this op).
             t = estart
-            if uid in last_time and t <= last_time[uid]:
-                t = last_time[uid] + 1
-            for evicted in mrt.place_evicting(op, t):
-                del times[evicted]
-                push(evicted)
+            lt = last_time[i]
+            if lt is not None and t <= lt:
+                t = lt + 1
+            evicted = mrt.conflicting_spec(spec, t)
+            for v in evicted:
+                mrt.remove(v)
+            token = probe(spec, t)
+            if token is None:
+                raise ValueError(f"no free resources at cycle {t}")
+            mrt.commit(i, token)
+            for v in evicted:
+                times[v] = -1
+                push(v)
                 evictions += 1
             placed_at = t
 
-        times[uid] = placed_at
-        last_time[uid] = placed_at
+        times[i] = placed_at
+        last_time[i] = placed_at
+        order.append(i)
 
         # Unschedule any scheduled neighbor whose dependence is now violated.
-        for edge in graph.successors(uid):
-            if edge.dst == uid or edge.dst not in times:
+        for j in succ_e[i]:
+            d = edst[j]
+            if d == i:
                 continue
-            need = placed_at + delays[edge] - ii * edge.distance
-            if times[edge.dst] < need:
-                mrt.remove(edge.dst)
-                del times[edge.dst]
-                push(edge.dst)
+            td = times[d]
+            if td < 0:
+                continue
+            if td < placed_at + delay[j] - ii * edist[j]:
+                mrt.remove(d)
+                times[d] = -1
+                push(d)
                 evictions += 1
-        for edge in graph.predecessors(uid):
-            if edge.src == uid or edge.src not in times:
+        for j in pred_e[i]:
+            s = esrc[j]
+            if s == i:
                 continue
-            need = times[edge.src] + delays[edge] - ii * edge.distance
-            if placed_at < need:
-                mrt.remove(edge.src)
-                del times[edge.src]
-                push(edge.src)
+            ts = times[s]
+            if ts < 0:
+                continue
+            if placed_at < ts + delay[j] - ii * edist[j]:
+                mrt.remove(s)
+                times[s] = -1
+                push(s)
                 evictions += 1
 
     if rec is not None:
         rec.count("sched.placements", placements)
         rec.count("sched.evictions", evictions)
-    return times if len(times) == len(loop.body) else None
+    if sum(1 for i in state.body_idx if times[i] >= 0) != len(state.body_idx):
+        return None
+    # Replay placement order so the returned dict's insertion order is
+    # the one the incremental build produced (each placement re-inserted
+    # its key at the end; only the last placement of a key survives).
+    uids = state.uids
+    last_seen: list[int] = []
+    seen = bytearray(n)
+    for i in reversed(order):
+        if times[i] >= 0 and not seen[i]:
+            seen[i] = 1
+            last_seen.append(i)
+    return {uids[i]: times[i] for i in reversed(last_seen)}
 
 
 def modulo_schedule(
@@ -260,8 +414,11 @@ def modulo_schedule(
         raise SchedulingError(f"loop {loop.name!r} has an empty body")
     recorder = active_recorder()
     with maybe_span(recorder, "modulo_schedule", loop=loop.name):
-        delays = edge_delays(graph, machine)
-        mii, res, rec = minimum_ii(loop, graph, machine, delays)
+        # II-invariant scheduling state (dense numbering, edge arrays,
+        # adjacency, reservation specs), shared by every II probe and
+        # restart variant — and by the MII bound computation.
+        state = _SchedulerState(loop, graph, machine)
+        mii, res, rec = minimum_ii(loop, graph, machine, arrays=state.arrays)
         start = max(mii, min_ii or 1)
         budget = max(budget_ratio * len(loop.body), 40)
         max_ii = max(start * max_ii_factor, start + 32)
@@ -269,14 +426,9 @@ def modulo_schedule(
         if recorder is not None:
             _remark_mii_bound(recorder, loop, graph, res, rec, start, min_ii)
 
-        # II-invariant scheduling state, shared by every II probe and
-        # restart variant.
-        body_index = {op.uid: i for i, op in enumerate(loop.body)}
-        by_uid = {op.uid: op for op in loop.body}
-
         attempts = 0
         for ii in range(start, max_ii + 1):
-            base_height = _heights(loop, graph, machine, ii, delays)
+            base_height = _heights_flat(state, ii)
             for variant in (None, 1, 2, 3):
                 attempts += 1
                 times = _try_schedule(
@@ -287,10 +439,8 @@ def modulo_schedule(
                     budget,
                     variant,
                     recorder,
-                    delays=delays,
                     base_height=base_height,
-                    body_index=body_index,
-                    by_uid=by_uid,
+                    state=state,
                 )
                 if times is None and variant == 3 and recorder is not None:
                     # All restart variants failed at this II: record what
@@ -307,6 +457,7 @@ def modulo_schedule(
                         at_bound=ii == mii,
                     )
                 if times is not None:
+                    delays = dict(zip(state.arrays.edges, state.arrays.delay))
                     _check_schedule(loop, graph, machine, ii, times, delays)
                     if recorder is not None:
                         recorder.count("sched.loops_scheduled")

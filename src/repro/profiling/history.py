@@ -3,12 +3,15 @@
 ``BENCH_compile_perf.json`` is committed on purpose — its deterministic
 effort counters are comparable across machines, so the git history of
 the file *is* a compile-cost timeline of the project.  This module walks
-that history (``git log`` for the commits touching the artifact,
-``git show <sha>:<path>`` for each version) and aggregates it into one
-row per commit: wall time (noisy, machine-bound) next to the effort
-counters (exact).  ``python -m repro.profiling history`` renders the
-timeline; a sudden jump in ``kl_pack_steps`` between two commits points
-the finger long before anyone notices the wall-clock regression.
+that history (``git log`` for the commits touching the artifact, then a
+single ``git cat-file --batch`` process fed every ``<sha>:<path>``
+request at once) and aggregates it into one row per commit: wall time
+(noisy, machine-bound) next to the effort counters (exact).  Exactly two
+subprocesses run regardless of history length — the old one-``git
+show``-per-commit walk forked O(commits) times.  ``python -m
+repro.profiling history`` renders the timeline; a sudden jump in
+``kl_pack_steps`` between two commits points the finger long before
+anyone notices the wall-clock regression.
 """
 
 from __future__ import annotations
@@ -66,6 +69,38 @@ def _git(repo: str, *args: str) -> str:
     return result.stdout
 
 
+def _cat_file_batch(repo: str, requests: list[str]) -> dict[str, bytes | None]:
+    """Resolve every ``<sha>:<path>`` request through one ``git cat-file
+    --batch`` subprocess.  Returns request -> blob bytes, or ``None`` for
+    objects git reports ``missing`` (e.g. the commit that deleted the
+    artifact).  One fork total, however long the history."""
+    if not requests:
+        return {}
+    proc = subprocess.run(
+        ["git", "-C", repo, "cat-file", "--batch"],
+        input=("\n".join(requests) + "\n").encode("utf-8"),
+        capture_output=True,
+        check=True,
+    )
+    out = proc.stdout
+    results: dict[str, bytes | None] = {}
+    pos = 0
+    for request in requests:
+        nl = out.index(b"\n", pos)
+        header = out[pos:nl].decode("utf-8", "replace")
+        pos = nl + 1
+        # Header is "<oid> <type> <size>", or the echoed request plus
+        # " missing" / " ambiguous" when the object can't be resolved.
+        fields = header.split()
+        if len(fields) != 3 or not fields[2].isdigit():
+            results[request] = None
+            continue
+        size = int(fields[2])
+        results[request] = out[pos : pos + size]
+        pos += size + 1  # content plus its trailing newline
+    return results
+
+
 def _artifact_effort(document: dict[str, object]) -> dict[str, int]:
     effort = document.get("effort")
     if isinstance(effort, dict):
@@ -111,13 +146,16 @@ def perf_history(
     if limit is not None:
         log_args.append(f"-n{limit}")
     log_args += ["--", artifact]
-    rows: list[CommitPerf] = []
+    commits: list[tuple[str, str, str]] = []
     for line in _git(repo, *log_args).splitlines():
         sha, _, rest = line.partition("\x1f")
         date, _, subject = rest.partition("\x1f")
-        try:
-            raw = _git(repo, "show", f"{sha}:{artifact}")
-        except subprocess.CalledProcessError:
+        commits.append((sha, date, subject))
+    blobs = _cat_file_batch(repo, [f"{sha}:{artifact}" for sha, _, _ in commits])
+    rows: list[CommitPerf] = []
+    for sha, date, subject in commits:
+        raw = blobs.get(f"{sha}:{artifact}")
+        if raw is None:
             warn(f"{sha[:8]}: no {artifact} at this commit — skipped")
             continue
         try:

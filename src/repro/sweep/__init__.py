@@ -1,0 +1,33 @@
+"""Corpus-scale sweeps: sharded, resumable compilation of generated loops.
+
+The sweep runner compiles a :class:`~repro.workloads.generator.CorpusSpec`
+corpus (thousands to hundreds of thousands of loops) split into shards,
+pulling shards from a shared queue (work stealing) when ``jobs > 1``.
+Every completed shard is durably recorded — an atomically-written shard
+result file plus an append-only JSONL manifest line — before the runner
+moves on, so a killed run loses at most the shards in flight and
+``--resume`` completes exactly the missing ones.  Shard records merge
+through the ledger's ``merge_records`` path, so a sharded (or resumed)
+sweep's ledger record is comparable exactly — same loops, same effort
+counters — with a serial reference run; only wall clock differs.
+"""
+
+from repro.sweep.manifest import SweepManifest
+from repro.sweep.runner import (
+    ShardFailure,
+    SweepConfig,
+    SweepError,
+    SweepResult,
+    run_sweep,
+    shard_bounds,
+)
+
+__all__ = [
+    "ShardFailure",
+    "SweepConfig",
+    "SweepError",
+    "SweepManifest",
+    "SweepResult",
+    "run_sweep",
+    "shard_bounds",
+]

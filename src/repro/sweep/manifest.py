@@ -1,0 +1,99 @@
+"""Crash-safe sweep manifest: an append-only JSONL progress journal.
+
+One manifest per sweep directory.  The first line is the header (the
+corpus spec and run configuration); each later line records one durably
+completed shard.  Appends follow the ledger's durability rules — one
+``O_APPEND`` write of a complete line — and the reader skips a torn tail
+or corrupt line, so a run killed mid-write still leaves every earlier
+shard completion readable and ``--resume`` can trust what it finds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Callable
+
+MANIFEST_FILE = "manifest.jsonl"
+
+
+def _stderr_warn(message: str) -> None:
+    print(f"[sweep] {message}", file=sys.stderr)
+
+
+class SweepManifest:
+    """The append-only journal of one sweep directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        warn: Callable[[str], None] | None = None,
+    ):
+        self.directory = directory
+        self.path = os.path.join(directory, MANIFEST_FILE)
+        self._warn = warn if warn is not None else _stderr_warn
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def append(self, event: dict) -> None:
+        """Durably append one event (a single complete JSONL line)."""
+        os.makedirs(self.directory, exist_ok=True)
+        line = (
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def events(self) -> list[dict]:
+        """Every readable event in append order; torn or corrupt lines
+        are skipped with a warning."""
+        try:
+            with open(self.path, "rb") as f:
+                raw = f.read()
+        except FileNotFoundError:
+            return []
+        events: list[dict] = []
+        chunks = raw.split(b"\n")
+        torn_tail = chunks[-1] != b""
+        for lineno, chunk in enumerate(chunks, start=1):
+            if chunk == b"":
+                continue
+            if torn_tail and lineno == len(chunks):
+                self._warn(
+                    f"{self.path}:{lineno}: torn event (no trailing "
+                    f"newline; {len(chunk)} bytes) — skipped"
+                )
+                continue
+            try:
+                event = json.loads(chunk.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._warn(
+                    f"{self.path}:{lineno}: unreadable event ({exc}) "
+                    "— skipped"
+                )
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+        return events
+
+    def header(self) -> dict | None:
+        """The sweep header event, or None for an empty/alien manifest."""
+        for event in self.events():
+            if event.get("event") == "sweep":
+                return event
+        return None
+
+    def completed_shards(self) -> dict[int, dict]:
+        """Shard index -> its completion event, for every shard whose
+        ``done`` line made it to disk."""
+        done: dict[int, dict] = {}
+        for event in self.events():
+            if event.get("event") == "shard" and event.get("status") == "done":
+                done[int(event["shard"])] = event
+        return done

@@ -23,6 +23,7 @@ Archetypes:
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 
 from repro.ir.builder import LoopBuilder
 from repro.ir.loop import Loop
@@ -253,3 +254,117 @@ def generate(archetype: str, seed: int, name: str | None = None) -> Loop:
         raise KeyError(f"unknown archetype {archetype!r}")
     rng = random.Random(seed)
     return GENERATORS[archetype](rng, name or f"{archetype}_{seed}")
+
+
+# ----------------------------------------------------------------------
+# Corpus-scale generation (the sweep substrate)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A deterministic description of a generated loop corpus.
+
+    The plan drawn from a spec is a pure function of its fields: the
+    same spec always names the same loops with the same per-loop seeds,
+    so shards of a sweep can each materialize only their slice and a
+    resumed run regenerates exactly the loops the interrupted one would
+    have compiled.
+
+    ``archetypes`` restricts (and orders) the generator mix; empty means
+    every archetype in :data:`GENERATORS` definition order.  ``weights``
+    maps archetype name to a relative draw weight (unlisted archetypes
+    draw at weight 1.0), steering the aggregate shape of the corpus —
+    e.g. a memory-bound corpus via ``{"memory_bound": 5.0}``.
+    """
+
+    size: int
+    seed: int = 0
+    archetypes: tuple[str, ...] = ()
+    weights: dict[str, float] = field(default_factory=dict)
+    trip_counts: tuple[int, int] = (16, 256)
+    name_prefix: str = "sweep"
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("corpus size must be >= 1")
+        names = self.archetypes or tuple(GENERATORS)
+        for name in names:
+            if name not in GENERATORS:
+                raise KeyError(f"unknown archetype {name!r}")
+        for name in self.weights:
+            if name not in names:
+                raise KeyError(
+                    f"weight for archetype {name!r} outside the mix"
+                )
+        lo, hi = self.trip_counts
+        if not (1 <= lo <= hi):
+            raise ValueError(f"bad trip-count range {self.trip_counts!r}")
+
+    def mix(self) -> tuple[tuple[str, ...], tuple[float, ...]]:
+        """(archetype names, draw weights), in a stable order."""
+        names = self.archetypes or tuple(GENERATORS)
+        return names, tuple(float(self.weights.get(n, 1.0)) for n in names)
+
+    def to_dict(self) -> dict:
+        """JSON-stable form (manifest headers, run-record configs)."""
+        names, weights = self.mix()
+        return {
+            "size": self.size,
+            "seed": self.seed,
+            "archetypes": list(names),
+            "weights": {n: w for n, w in zip(names, weights)},
+            "trip_counts": list(self.trip_counts),
+            "name_prefix": self.name_prefix,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "CorpusSpec":
+        return cls(
+            size=int(document["size"]),
+            seed=int(document.get("seed", 0)),
+            archetypes=tuple(document.get("archetypes") or ()),
+            weights=dict(document.get("weights") or {}),
+            trip_counts=tuple(document.get("trip_counts") or (16, 256)),
+            name_prefix=str(document.get("name_prefix", "sweep")),
+        )
+
+
+@dataclass(frozen=True)
+class CorpusItem:
+    """One planned loop: everything needed to materialize it anywhere."""
+
+    index: int
+    archetype: str
+    loop_seed: int
+    trip_count: int
+    name: str
+
+    def materialize(self) -> Loop:
+        return generate(self.archetype, self.loop_seed, self.name)
+
+
+def corpus_plan(spec: CorpusSpec) -> list[CorpusItem]:
+    """The full, deterministic draw plan of a corpus.
+
+    One RNG seeded by ``spec.seed`` drives every draw in index order, so
+    item ``i`` is identical no matter which slice of the plan a shard
+    materializes.
+    """
+    names, weights = spec.mix()
+    lo, hi = spec.trip_counts
+    rng = random.Random(spec.seed)
+    items: list[CorpusItem] = []
+    for i in range(spec.size):
+        archetype = rng.choices(names, weights)[0]
+        loop_seed = rng.randrange(1 << 30)
+        trip = rng.randint(lo, hi)
+        items.append(
+            CorpusItem(
+                index=i,
+                archetype=archetype,
+                loop_seed=loop_seed,
+                trip_count=trip,
+                name=f"{spec.name_prefix}{i:06d}_{archetype}",
+            )
+        )
+    return items

@@ -59,6 +59,40 @@ class TestEvaluator:
         )
         assert first is second
 
+    def test_worker_pool_reused_across_fanouts(self, monkeypatch):
+        """One process pool serves every parallel batch; ``close`` (and
+        the context manager) shuts it down exactly once."""
+        created: list[int] = []
+
+        class FakePool:
+            def __init__(self, max_workers=None, mp_context=None):
+                created.append(max_workers)
+                self.shutdowns = 0
+
+            def map(self, fn, iterable):
+                return list(map(fn, iterable))
+
+            def shutdown(self, wait=True):
+                self.shutdowns += 1
+
+        monkeypatch.setattr(
+            "concurrent.futures.ProcessPoolExecutor", FakePool
+        )
+        with Evaluator(jobs=2) as ev:
+            variants = ev.standard_variants()
+            ev.prewarm(SMALL, [variants[0]])
+            pool = ev._pool
+            assert created == [2]
+            ev.prewarm(SMALL, [variants[1]])
+            assert created == [2]  # second fan-out reused the pool
+            assert ev._pool is pool
+            # The fanned-out compilations actually landed.
+            assert len(ev.compiled_loops(SMALL[0], variants[0])) == 9
+        assert pool.shutdowns == 1
+        assert ev._pool is None
+        ev.close()  # idempotent after the context manager already closed
+        assert pool.shutdowns == 1
+
     def test_table2_rows(self, evaluator):
         rows = evaluator.table2(SMALL)
         row = rows["101.tomcatv"]

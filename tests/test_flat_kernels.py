@@ -1,0 +1,307 @@
+"""Equivalence of the flat-array hot kernels and their dict references.
+
+The bitmask modulo reservation table and the arrayified Bellman-Ford are
+pure performance rewrites: this suite drives them and their original
+dict implementations through randomized inputs and requires identical
+observable behavior —
+
+* :class:`ModuloReservationTable` (bitmask rows) vs
+  :class:`DictModuloReservationTable` (the original per-cell dict, kept
+  in-tree as the executable specification): same fits verdicts, same
+  occupied cells after every action, same eviction sets, across random
+  machines (including few-unit machines that force conflicts and
+  non-pipelined multi-cycle divides) and random place / force-place /
+  remove sequences;
+* :func:`_relax` / :func:`rec_mii` / :func:`_heights` vs reference
+  reimplementations of the original dict-based relaxations: same
+  distances, same predecessor edges, same witness, same RecMII value and
+  critical cycle, same heights, on random dependence graphs (zero-
+  distance edges kept acyclic, loop-carried edges unrestricted).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependence.analysis import analyze_loop
+from repro.dependence.graph import DepEdge, DependenceGraph, DepKind, Via
+from repro.ir.operations import Operation, OpKind
+from repro.ir.types import ScalarType
+from repro.ir.values import VirtualRegister, const_f64, const_i64
+from repro.machine.configs import figure1_machine, paper_machine
+from repro.machine.machine import LatencyTable, MachineDescription
+from repro.machine.resources import ResourceClass
+from repro.pipeline.mii import _relax, edge_delays, rec_mii
+from repro.pipeline.reservation import (
+    DictModuloReservationTable,
+    ModuloReservationTable,
+)
+from repro.pipeline.scheduler import _heights
+from repro.workloads.generator import GENERATORS, generate
+
+F64 = ScalarType.F64
+I64 = ScalarType.I64
+
+
+def _tight_machine(slots: int, fp: int, ints: int, ls: int) -> MachineDescription:
+    """A deliberately small machine so random placements collide."""
+    return MachineDescription(
+        name=f"tight-s{slots}f{fp}i{ints}l{ls}",
+        resources=(
+            ResourceClass("slot", slots),
+            ResourceClass("int", ints),
+            ResourceClass("fp", fp),
+            ResourceClass("ls", ls),
+            ResourceClass("br", 1),
+        ),
+        vector_length=2,
+        latencies=LatencyTable(int_div=5, fp_div=7),
+    )
+
+
+MACHINES = [
+    paper_machine(),
+    figure1_machine(),
+    _tight_machine(2, 1, 1, 1),
+    _tight_machine(3, 2, 1, 1),
+    _tight_machine(1, 1, 1, 1),
+]
+
+#: (kind, dtype) choices; DIV/SQRT are the non-pipelined multi-cycle
+#: reservations (fp_div/int_div busy cycles on the tight machines).
+OP_SHAPES = [
+    (OpKind.ADD, F64),
+    (OpKind.MUL, F64),
+    (OpKind.DIV, F64),
+    (OpKind.SQRT, F64),
+    (OpKind.ADD, I64),
+    (OpKind.MUL, I64),
+    (OpKind.DIV, I64),
+]
+
+
+def _make_op(shape_idx: int) -> Operation:
+    kind, dtype = OP_SHAPES[shape_idx % len(OP_SHAPES)]
+    const = const_f64(1.0) if dtype.is_float else const_i64(1)
+    srcs = (const,) * kind.arity
+    return Operation(
+        kind, dtype, dest=VirtualRegister(f"t{id(object())}", dtype), srcs=srcs
+    )
+
+
+action_strategy = st.tuples(
+    st.sampled_from(["place", "force", "remove"]),
+    st.integers(0, len(OP_SHAPES) - 1),
+    st.integers(0, 40),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    machine_idx=st.integers(0, len(MACHINES) - 1),
+    ii=st.integers(1, 9),
+    actions=st.lists(action_strategy, min_size=1, max_size=25),
+)
+def test_bitset_mrt_matches_dict_mrt(machine_idx, ii, actions):
+    machine = MACHINES[machine_idx]
+    fast = ModuloReservationTable(machine, ii)
+    ref = DictModuloReservationTable(machine, ii)
+    placed: list[Operation] = []
+    for verb, shape_idx, cycle in actions:
+        if verb == "remove" and placed:
+            op = placed.pop(cycle % len(placed))
+            fast.remove(op.uid)
+            ref.remove(op.uid)
+        elif verb == "place":
+            op = _make_op(shape_idx)
+            fits_fast = fast.fits(op, cycle)
+            fits_ref = ref.fits(op, cycle)
+            assert fits_fast == fits_ref, (op, cycle)
+            if fits_fast:
+                fast.place(op, cycle)
+                ref.place(op, cycle)
+                placed.append(op)
+        else:  # force placement
+            op = _make_op(shape_idx)
+            assert fast.conflicting_holders(op, cycle) == ref.conflicting_holders(
+                op, cycle
+            ), (op, cycle)
+            err_fast = err_ref = False
+            evicted_fast = evicted_ref = set()
+            try:
+                evicted_fast = fast.place_evicting(op, cycle)
+            except ValueError:
+                err_fast = True
+            try:
+                evicted_ref = ref.place_evicting(op, cycle)
+            except ValueError:
+                err_ref = True
+            assert err_fast == err_ref, (op, cycle)
+            if not err_fast:
+                assert evicted_fast == evicted_ref, (op, cycle)
+                placed = [p for p in placed if p.uid not in evicted_fast]
+                placed.append(op)
+        # After every action the full observable state must agree: the
+        # same cells busy with the same holders, the same holder set.
+        assert fast.occupied_cells() == ref.occupied_cells()
+        assert set(fast.held) == set(ref.held)
+
+
+# ----------------------------------------------------------------------
+# Bellman-Ford references: the original dict implementations, verbatim.
+
+
+def _relax_ref(graph, machine, ii, delays):
+    nodes = graph.node_ids()
+    dist = {n: 0 for n in nodes}
+    pred = {}
+    weights = [(e, delays[e] - ii * e.distance) for e in graph.edges]
+    witness = None
+    for _ in range(len(nodes)):
+        changed = False
+        for e, w in weights:
+            if dist[e.src] + w > dist[e.dst]:
+                dist[e.dst] = dist[e.src] + w
+                pred[e.dst] = e
+                changed = True
+                witness = e.dst
+        if not changed:
+            return dist, pred, None
+    return dist, pred, witness
+
+
+def _rec_mii_ref(graph, machine):
+    if not graph.edges:
+        return 1, (), 0, 0
+    delays = edge_delays(graph, machine)
+    max_delay = max(delays[e] for e in graph.edges)
+    hi = max(1, max_delay * len(graph.ops))
+
+    def positive(ii):
+        return _relax_ref(graph, machine, ii, delays)[2] is not None
+
+    def extract(ii):
+        _, pred, witness = _relax_ref(graph, machine, ii, delays)
+        if witness is None:
+            return []
+        node = witness
+        for _ in range(len(graph.ops)):
+            node = pred[node].src
+        cycle, cur = [], node
+        for _ in range(len(graph.ops) + 1):
+            edge = pred[cur]
+            cycle.append(edge)
+            cur = edge.src
+            if cur == node:
+                break
+        cycle.reverse()
+        return cycle
+
+    assert not positive(hi), "zero-distance cycle in generated graph"
+    lo = 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if positive(mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo <= 1:
+        return 1, (), 0, 0
+    cycle = extract(lo - 1)
+    return (
+        lo,
+        tuple(cycle),
+        sum(delays[e] for e in cycle),
+        sum(e.distance for e in cycle),
+    )
+
+
+def _heights_ref(loop, graph, machine, ii, delays):
+    height = {op.uid: 0 for op in loop.body}
+    for _ in range(len(loop.body)):
+        changed = False
+        for edge in graph.edges:
+            w = delays[edge] - ii * edge.distance
+            candidate = height[edge.dst] + w
+            if candidate > height[edge.src]:
+                height[edge.src] = candidate
+                changed = True
+        if not changed:
+            break
+    return height
+
+
+@st.composite
+def graph_strategy(draw):
+    """A random dependence graph whose zero-distance edges are acyclic
+    (forward-only), with arbitrary loop-carried edges on top."""
+    n = draw(st.integers(2, 9))
+    ops = [_make_op(draw(st.integers(0, len(OP_SHAPES) - 1))) for _ in range(n)]
+    graph = DependenceGraph()
+    for op in ops:
+        graph.add_op(op)
+    kinds = [DepKind.FLOW, DepKind.ANTI, DepKind.OUTPUT]
+    n_edges = draw(st.integers(0, 3 * n))
+    for _ in range(n_edges):
+        distance = draw(st.integers(0, 3))
+        if distance == 0:
+            src = draw(st.integers(0, n - 2))
+            dst = draw(st.integers(src + 1, n - 1))
+        else:
+            src = draw(st.integers(0, n - 1))
+            dst = draw(st.integers(0, n - 1))
+        graph.add_edge(
+            DepEdge(
+                src=ops[src].uid,
+                dst=ops[dst].uid,
+                kind=draw(st.sampled_from(kinds)),
+                via=Via.REGISTER,
+                distance=distance,
+            )
+        )
+    return graph
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    graph=graph_strategy(),
+    machine_idx=st.integers(0, len(MACHINES) - 1),
+    ii=st.integers(1, 12),
+)
+def test_flat_relax_matches_reference(graph, machine_idx, ii):
+    machine = MACHINES[machine_idx]
+    delays = edge_delays(graph, machine)
+    ref_dist, ref_pred, ref_witness = _relax_ref(graph, machine, ii, delays)
+    dist: dict[int, int] = {}
+    pred, witness = _relax(graph, machine, ii, delays, dist)
+    assert dist == ref_dist
+    assert witness == ref_witness
+    assert pred == ref_pred
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graph_strategy(), machine_idx=st.integers(0, len(MACHINES) - 1))
+def test_flat_rec_mii_matches_reference(graph, machine_idx):
+    machine = MACHINES[machine_idx]
+    ref_value, ref_cycle, ref_delay, ref_distance = _rec_mii_ref(graph, machine)
+    bound = rec_mii(graph, machine)
+    assert int(bound) == ref_value
+    assert bound.cycle_edges == ref_cycle
+    assert bound.cycle_delay == ref_delay
+    assert bound.cycle_distance == ref_distance
+
+
+loop_strategy = st.builds(
+    generate,
+    archetype=st.sampled_from(sorted(GENERATORS)),
+    seed=st.integers(0, 50_000),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(loop=loop_strategy, ii=st.integers(1, 8))
+def test_flat_heights_match_reference(loop, ii):
+    machine = paper_machine()
+    dep = analyze_loop(loop, machine.vector_length)
+    delays = edge_delays(dep.graph, machine)
+    ref = _heights_ref(loop, dep.graph, machine, ii, delays)
+    assert _heights(loop, dep.graph, machine, ii, delays) == ref

@@ -366,6 +366,44 @@ class TestHistory:
         for row in rows:
             assert row.effort.get("sched_attempts", 0) > 0
 
+    def test_exactly_two_subprocesses_regardless_of_history(
+        self, history_repo, monkeypatch
+    ):
+        """The history walk is one ``git log`` plus one ``git cat-file
+        --batch`` — never a ``git show`` per commit."""
+        import repro.profiling.history as history_mod
+
+        calls: list[list[str]] = []
+        real_run = subprocess.run
+
+        def counting_run(argv, *args, **kwargs):
+            calls.append(list(argv))
+            return real_run(argv, *args, **kwargs)
+
+        monkeypatch.setattr(history_mod.subprocess, "run", counting_run)
+        rows = perf_history(history_repo)
+        assert [r.effort["kl_pack_steps"] for r in rows] == [180, 100]
+        assert len(calls) == 2
+        assert calls[0][:2] == ["git", "-C"] and "log" in calls[0]
+        assert calls[1][-2:] == ["cat-file", "--batch"]
+
+    def test_cat_file_batch_resolves_missing_objects(self, history_repo):
+        from repro.profiling.history import _cat_file_batch
+
+        sha = subprocess.run(
+            ["git", "-C", history_repo, "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        good = f"{sha}:BENCH_compile_perf.json"
+        missing = f"{sha}:no-such-file.json"
+        blobs = _cat_file_batch(history_repo, [good, missing, good])
+        assert blobs[missing] is None
+        document = json.loads(blobs[good])
+        assert document["effort"]["kl_pack_steps"] == 180
+        assert _cat_file_batch(history_repo, []) == {}
+
     def test_broken_commits_warn_and_skip(self, history_repo, tmp_path):
         """A briefly broken artifact never aborts the timeline: the bad
         commits are skipped with a warning, the healthy ones survive."""
