@@ -19,18 +19,17 @@ import os
 import sys
 import time
 
-from repro.compiler.driver import compile_loop
+from repro.compiler.service import (
+    CompileRequest,
+    compile_one,
+    effort_counters,
+)
 from repro.compiler.strategies import ALL_STRATEGIES, Strategy
 from repro.dependence.analysis import analyze_loop
 from repro.frontend import parse_loop
 from repro.interp.memory import memory_for_loop
-from repro.machine.configs import (
-    aligned_machine,
-    figure1_machine,
-    free_communication_machine,
-    paper_machine,
-    wide_vector_machine,
-)
+from repro.machine.configs import MACHINE_FACTORIES as MACHINES
+from repro.machine.configs import machine_by_name
 from repro.observability import (
     recording,
     render_stats_table,
@@ -38,14 +37,6 @@ from repro.observability import (
 )
 from repro.pipeline.kernel import kernel_listing, pipeline_listing
 from repro.vectorize.communication import Side
-
-MACHINES = {
-    "paper": paper_machine,
-    "toy": figure1_machine,
-    "aligned": aligned_machine,
-    "freecomm": free_communication_machine,
-    "vl4": lambda: wide_vector_machine(4),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,17 +153,7 @@ def _append_ledger_record(
     bench = (
         "stdin" if args.source == "-" else os.path.basename(args.source)
     )
-    effort = {
-        "sched_attempts": sum(
-            u.schedule.attempts for u in compiled.units
-        ),
-    }
-    if compiled.partition is not None:
-        effort["kl_iterations"] = compiled.partition.iterations
-        effort["kl_probes"] = compiled.partition.n_probes
-        effort["kl_bin_packs"] = compiled.partition.n_bin_packs
-        effort["kl_repacks"] = compiled.partition.n_repacks
-        effort["kl_pack_steps"] = compiled.partition.n_pack_steps
+    effort = effort_counters(compiled)
     check = None
     if check_report is not None:
         check = {
@@ -240,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
         else open(args.source, encoding="utf-8").read()
     )
     loop = parse_loop(source)
-    machine = MACHINES[args.machine]()
+    machine = machine_by_name(args.machine)
     strategy = Strategy(args.strategy)
 
     oracle_budget = None
@@ -288,9 +269,14 @@ def main(argv: list[str] | None = None) -> int:
         """Compile, certify, and validate — one unit so the whole
         pipeline lands inside a single recording scope and the profile
         attributes the --oracle and --check phases too."""
-        compiled = compile_loop(
-            loop, machine, strategy, optimize=args.optimize
-        )
+        compiled = compile_one(
+            CompileRequest(
+                loop=loop,
+                machine=machine,
+                strategy=strategy,
+                optimize=args.optimize,
+            )
+        ).compiled
         certificate = certify(compiled)
         check_report = None
         if args.check:

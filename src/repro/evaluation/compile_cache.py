@@ -18,6 +18,16 @@ entry reads as a miss, and concurrent writers of the same key converge
 on identical content.  Enable it by passing a directory to
 :class:`CompileCache` (the evaluation CLI wires ``--compile-cache`` /
 ``REPRO_COMPILE_CACHE`` to this).
+
+With ``max_bytes`` set the cache is additionally size-bounded: every
+hit bumps the entry's mtime, and after each store the least-recently
+used entries are evicted until the directory fits the budget.  An
+eviction racing a reader degrades to a miss on the reader's side (the
+open fails, the caller recompiles) — never a torn or wrong artifact,
+because entries only ever appear via atomic rename and only ever
+disappear whole.  Hit/miss/eviction counts flow through the recorder
+(``compile_cache.hits`` / ``.misses`` / ``.evictions``) so profiles
+and ledger records can attribute them.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import tempfile
 from dataclasses import replace
 
 from repro.compiler.driver import CompiledLoop
+from repro.observability.recorder import active_recorder
 
 _PICKLE_PROTOCOL = 4
 
@@ -115,24 +126,54 @@ def cache_key(
 
 
 class CompileCache:
-    """Directory-backed store of compiled loops keyed by content hash."""
+    """Directory-backed store of compiled loops keyed by content hash.
 
-    def __init__(self, directory: str):
+    ``max_bytes`` bounds the total size of stored entries: hits refresh
+    recency (mtime), and each store evicts least-recently-used entries
+    until the cache fits.  ``hits`` / ``misses`` / ``evictions`` count
+    this instance's traffic; the same counts are emitted through the
+    active recorder when one is installed.
+    """
+
+    def __init__(self, directory: str, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
         self.directory = directory
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key[:2], f"{key}.pkl")
 
+    def _count(self, name: str, n: int = 1) -> None:
+        rec = active_recorder()
+        if rec is not None:
+            rec.count(f"compile_cache.{name}", n)
+
     def load(self, key: str) -> CompiledLoop | None:
         """The cached compile result, or ``None`` on a miss (including a
         missing, torn, or unreadable entry)."""
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as f:
+            with open(path, "rb") as f:
                 value = pickle.load(f)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
-        return value if isinstance(value, CompiledLoop) else None
+            value = None
+        if isinstance(value, CompiledLoop):
+            self.hits += 1
+            self._count("hits")
+            try:
+                # Recency bump: LRU eviction orders entries by mtime.
+                os.utime(path)
+            except OSError:
+                pass
+            return value
+        self.misses += 1
+        self._count("misses")
+        return None
 
     def store(self, key: str, compiled: CompiledLoop) -> None:
         """Atomically persist one compile result under ``key``."""
@@ -151,3 +192,80 @@ class CompileCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._evict(keep=key)
+
+    def entries(self) -> list[tuple[str, int, float]]:
+        """``(key, size_bytes, mtime)`` for every complete entry.
+
+        In-flight ``.tmp`` spool files are not entries; a file that
+        vanishes mid-scan (concurrent eviction) is simply skipped.
+        """
+        found: list[tuple[str, int, float]] = []
+        try:
+            shards = sorted(os.scandir(self.directory), key=lambda e: e.name)
+        except OSError:
+            return found
+        for shard in shards:
+            if not shard.is_dir():
+                continue
+            try:
+                files = sorted(os.scandir(shard.path), key=lambda e: e.name)
+            except OSError:
+                continue
+            for entry in files:
+                if not entry.name.endswith(".pkl"):
+                    continue
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                found.append(
+                    (entry.name[: -len(".pkl")], stat.st_size, stat.st_mtime)
+                )
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self.entries())
+
+    def stats(self) -> dict:
+        entries = self.entries()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "max_bytes": self.max_bytes,
+        }
+
+    def _evict(self, keep: str | None = None) -> int:
+        """Remove least-recently-used entries until the cache fits
+        ``max_bytes``.  The ``keep`` key (the one just stored) is never
+        evicted, so a store always leaves its own artifact readable.
+        Returns the number of entries removed."""
+        if self.max_bytes is None:
+            return 0
+        entries = self.entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return 0
+        removed = 0
+        # Oldest mtime first; key breaks ties deterministically.
+        for key, size, _ in sorted(entries, key=lambda e: (e[2], e[0])):
+            if total <= self.max_bytes:
+                break
+            if key == keep:
+                continue
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                # Already gone (concurrent eviction): its bytes are
+                # freed either way.
+                pass
+            total -= size
+            removed += 1
+        if removed:
+            self.evictions += removed
+            self._count("evictions", removed)
+        return removed

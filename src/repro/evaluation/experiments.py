@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 
 from repro.compiler.driver import CompiledLoop, compile_loop
+from repro.compiler.service import CompileRequest, compile_one, effort_counters
 from repro.compiler.strategies import Strategy
 from repro.machine.configs import aligned_machine, figure1_machine, paper_machine
 from repro.machine.machine import MachineDescription
@@ -129,34 +130,28 @@ class BenchmarkEvaluation:
         return self.total_cycles(baseline) / self.total_cycles(label)
 
 
-def _compile_job(
-    args: tuple,
-) -> CompiledLoop:
-    """Top-level worker for the process pool: compile one loop."""
-    loop, machine, strategy, partition_config = args
-    return compile_loop(
-        loop, machine, strategy, partition_config=partition_config
-    )
+def _compile_job(request: CompileRequest) -> CompiledLoop:
+    """Top-level worker for the process pool: compile one request
+    through the shared pure entry point."""
+    return compile_one(request).compiled
 
 
-def _timed_compile_job(args: tuple) -> tuple[CompiledLoop, float]:
+def _timed_compile_job(request: CompileRequest) -> tuple[CompiledLoop, float]:
     """Pool worker measuring its own compile wall time, so per-loop
     timings (progress stragglers, telemetry) survive the fan-out."""
     start = time.perf_counter()
-    compiled = _compile_job(args)
+    compiled = _compile_job(request)
     return compiled, (time.perf_counter() - start) * 1e3
 
 
 def _loop_effort(compiled: CompiledLoop) -> dict[str, int]:
-    """The deterministic effort one compiled loop carries (the progress
-    monitor's per-strategy accumulation)."""
-    effort = {
-        "sched_attempts": sum(u.schedule.attempts for u in compiled.units)
+    """The progress monitor's per-strategy effort subset."""
+    effort = effort_counters(compiled)
+    return {
+        key: effort[key]
+        for key in ("sched_attempts", "kl_pack_steps", "kl_probes")
+        if key in effort
     }
-    if compiled.partition is not None:
-        effort["kl_pack_steps"] = compiled.partition.n_pack_steps
-        effort["kl_probes"] = compiled.partition.n_probes
-    return effort
 
 
 class Evaluator:
@@ -291,22 +286,15 @@ class Evaluator:
             slot: list[CompiledLoop | None] = [None] * len(bench.loops)
             slots[key] = slot
             for i, wl in enumerate(bench.loops):
-                args = (
-                    wl.loop,
-                    variant.machine,
-                    variant.strategy,
-                    variant.partition_config,
+                request = CompileRequest(
+                    loop=wl.loop,
+                    machine=variant.machine,
+                    strategy=variant.strategy,
+                    partition_config=variant.partition_config,
                 )
                 entry_key: str | None = None
                 if cache is not None:
-                    from repro.evaluation.compile_cache import cache_key
-
-                    entry_key = cache_key(
-                        wl.loop,
-                        variant.machine,
-                        variant.strategy,
-                        partition_config=variant.partition_config,
-                    )
+                    entry_key = request.cache_key()
                     cached = cache.load(entry_key)
                     if cached is not None:
                         slot[i] = cached
@@ -320,7 +308,7 @@ class Evaluator:
                             )
                         continue
                     telemetry.cache_misses += 1
-                misses.append((key, i, args, entry_key))
+                misses.append((key, i, request, entry_key))
 
         batch_wall: dict[tuple[str, str], float] = {}
         if self.jobs > 1 and len(misses) > 1:
@@ -329,11 +317,11 @@ class Evaluator:
             # pool.map streams results back in submission order, so
             # the progress monitor ticks as workers finish rather
             # than after the whole fan-out drains.
-            for (key, i, args, entry_key), (compiled, loop_ms) in zip(
+            for (key, i, request, entry_key), (compiled, loop_ms) in zip(
                 misses,
                 pool.map(
                     _timed_compile_job,
-                    [args for _, _, args, _ in misses],
+                    [request for _, _, request, _ in misses],
                 ),
             ):
                 slots[key][i] = compiled
@@ -341,7 +329,7 @@ class Evaluator:
                     cache.store(entry_key, compiled)
                 if progress is not None:
                     progress.tick(
-                        args[0].name,
+                        request.loop.name,
                         key[1],
                         wall_ms=loop_ms,
                         effort=_loop_effort(compiled),
@@ -368,16 +356,16 @@ class Evaluator:
                     variant=variant.label,
                 ):
                     start = time.perf_counter()
-                    for _, i, args, entry_key in todo:
+                    for _, i, request, entry_key in todo:
                         loop_start = time.perf_counter()
-                        compiled = _compile_job(args)
+                        compiled = _compile_job(request)
                         loop_ms = (time.perf_counter() - loop_start) * 1e3
                         slots[key][i] = compiled
                         if cache is not None and entry_key is not None:
                             cache.store(entry_key, compiled)
                         if progress is not None:
                             progress.tick(
-                                args[0].name,
+                                request.loop.name,
                                 variant.label,
                                 wall_ms=loop_ms,
                                 effort=_loop_effort(compiled),

@@ -129,3 +129,29 @@ def free_communication_machine(vector_length: int = 2) -> MachineDescription:
         ),
         name="paper-vliw-freecomm",
     )
+
+
+#: Machines addressable by name — the single registry the compiler CLI,
+#: the sweep runner, and the compile-server protocol all resolve
+#: against.  ``toy`` is the CLI's historical alias for the Figure 1
+#: machine.
+MACHINE_FACTORIES = {
+    "paper": paper_machine,
+    "figure1": figure1_machine,
+    "toy": figure1_machine,
+    "aligned": aligned_machine,
+    "freecomm": free_communication_machine,
+    "vl4": lambda: wide_vector_machine(4),
+}
+
+
+def machine_by_name(name: str) -> MachineDescription:
+    """Resolve a registry name to a fresh machine description."""
+    try:
+        factory = MACHINE_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r} "
+            f"(expected one of {sorted(MACHINE_FACTORIES)})"
+        ) from None
+    return factory()

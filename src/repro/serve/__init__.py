@@ -1,0 +1,27 @@
+"""Compilation as a service.
+
+The serve package turns the compile pipeline into a long-running,
+shared resource: an asyncio HTTP/JSON front door (:mod:`.server`)
+accepts compile requests, deduplicates identical in-flight work by the
+content-addressed cache key, coalesces requests into batches for a
+worker pool, pushes back with 429s when its bounded queue saturates,
+and answers warm traffic straight from a sharded on-disk artifact
+store (:mod:`.store`).  :mod:`.protocol` defines the wire shapes and
+:mod:`.loadgen` replays a generated corpus against a server to measure
+serving throughput and latency.
+
+Everything is standard library only — the server is plain
+``asyncio`` streams speaking a deliberately small subset of HTTP/1.1.
+"""
+
+from repro.serve.protocol import ProtocolError, parse_compile_request
+from repro.serve.server import CompileServer, ServerConfig
+from repro.serve.store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "CompileServer",
+    "ProtocolError",
+    "ServerConfig",
+    "parse_compile_request",
+]

@@ -1,0 +1,123 @@
+"""Run the compile server.
+
+::
+
+    python -m repro.serve --store /tmp/artifacts --port 8787
+    python -m repro.serve --store /tmp/artifacts --port 0 --jobs 2
+
+With ``--port 0`` the kernel picks a free port; the server announces
+itself with one JSON line on stdout::
+
+    {"serving": {"host": "127.0.0.1", "port": 43211, "pid": 1234}}
+
+which is what ``python -m repro.serve.loadgen --spawn`` parses to find
+its target.  The process runs until ``POST /shutdown`` (graceful
+drain) or SIGINT/SIGTERM, which also drain before exiting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+
+from repro.serve.server import CompileServer, ServerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve compile requests over HTTP/JSON.",
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="artifact store directory (shared, content-addressed)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8787, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the artifact store above N bytes",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bounded dispatch queue; beyond it requests get 429",
+    )
+    parser.add_argument(
+        "--batch-max", type=int, default=16, help="largest coalesced batch"
+    )
+    parser.add_argument(
+        "--batch-linger-ms",
+        type=float,
+        default=2.0,
+        help="how long a batch waits for company before dispatch",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 compiles in-process on a thread)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    config = ServerConfig(
+        store_dir=args.store,
+        host=args.host,
+        port=args.port,
+        max_bytes=args.max_bytes,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        batch_linger_ms=args.batch_linger_ms,
+        jobs=args.jobs,
+    )
+    server = CompileServer(config)
+    await server.start()
+    print(
+        json.dumps(
+            {
+                "serving": {
+                    "host": config.host,
+                    "port": server.port,
+                    "pid": os.getpid(),
+                }
+            }
+        ),
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(
+            sig, lambda: loop.create_task(server.drain_and_stop())
+        )
+    await server.wait_stopped()
+    stats = server.stats
+    print(
+        f"served {stats.requests} request(s): {stats.compiles} compile(s), "
+        f"{stats.cache_hits} cache hit(s), {stats.dedup_hits} dedup hit(s), "
+        f"{stats.rejected} rejected",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

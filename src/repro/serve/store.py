@@ -1,0 +1,96 @@
+"""The server's shared artifact store.
+
+The store *is* the PR 3 compile cache — the same sharded,
+content-addressed, atomically written directory layout
+(``<dir>/<key[:2]>/<key>.pkl``), the same torn-entry-reads-as-miss
+contract, and (with ``max_bytes``) the same size-bounded LRU eviction.
+Server workers and the evaluation harness can point at one directory
+and share artifacts, because a key already encodes the compiler code
+version alongside the full request.
+
+On top of the on-disk cache the store keeps a small in-memory LRU of
+response *summaries*, so repeated warm requests for the same key skip
+the unpickle.  A summary is a pure function of the artifact (and the
+artifact of the key), so a memoized summary can outlive a disk
+eviction without ever becoming wrong — at worst the disk copy is gone
+and the next cold process recompiles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.compiler.driver import CompiledLoop
+from repro.compiler.service import (
+    CompiledLoopPayload,
+    CompileRequest,
+)
+from repro.evaluation.compile_cache import CompileCache
+
+
+class ArtifactStore:
+    """Content-addressed compile artifacts plus a summary memo.
+
+    ``get``/``put`` are blocking (disk + pickle) — the server calls
+    them through ``asyncio.to_thread`` / inside pool workers.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        max_bytes: int | None = None,
+        summary_slots: int = 4096,
+    ):
+        self.cache = CompileCache(directory, max_bytes=max_bytes)
+        self._summaries: OrderedDict[str, dict] = OrderedDict()
+        self._summary_slots = summary_slots
+        self.memo_hits = 0
+
+    @property
+    def directory(self) -> str:
+        return self.cache.directory
+
+    def _memoize(self, key: str, summary: dict) -> dict:
+        self._summaries[key] = summary
+        self._summaries.move_to_end(key)
+        while len(self._summaries) > self._summary_slots:
+            self._summaries.popitem(last=False)
+        return summary
+
+    def get_summary(self, key: str, request: CompileRequest) -> dict | None:
+        """The stored response summary for ``key``, or ``None`` on miss.
+
+        The memo answers without touching disk; otherwise the on-disk
+        artifact is loaded (counting a cache hit/miss) and summarized.
+        """
+        memo = self._summaries.get(key)
+        if memo is not None:
+            self._summaries.move_to_end(key)
+            self.memo_hits += 1
+            return memo
+        compiled = self.cache.load(key)
+        if compiled is None:
+            return None
+        summary = CompiledLoopPayload(
+            request=request, compiled=compiled
+        ).summary()
+        return self._memoize(key, summary)
+
+    def put(self, key: str, payload: CompiledLoopPayload) -> dict:
+        """Persist one compiled artifact and memoize its summary."""
+        self.cache.store(key, payload.compiled)
+        return self._memoize(key, payload.summary())
+
+    def memoize_summary(self, key: str, summary: dict) -> dict:
+        """Adopt a summary computed elsewhere (a pool worker that
+        already persisted the artifact) into the memo tier."""
+        return self._memoize(key, summary)
+
+    def load_compiled(self, key: str) -> CompiledLoop | None:
+        return self.cache.load(key)
+
+    def stats(self) -> dict:
+        stats = self.cache.stats()
+        stats["memo_hits"] = self.memo_hits
+        stats["memo_entries"] = len(self._summaries)
+        return stats

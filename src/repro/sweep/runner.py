@@ -22,7 +22,8 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from repro.compiler.driver import check_env_enabled, compile_loop
+from repro.compiler.driver import check_env_enabled
+from repro.compiler.service import CompileRequest, compile_one
 from repro.compiler.strategies import Strategy
 from repro.evaluation.bench_io import EFFORT_COUNTERS, write_bench_json
 from repro.evaluation.experiments import CompileTelemetry
@@ -34,16 +35,16 @@ from repro.ledger.record import (
     utc_now_iso,
 )
 from repro.ledger.store import Ledger, merge_records
-from repro.machine.configs import figure1_machine, paper_machine
+from repro.machine.configs import MACHINE_FACTORIES
 from repro.sweep.manifest import SweepManifest
 from repro.workloads.generator import CorpusSpec, corpus_plan
 
 SHARD_DIR = "shards"
 
-MACHINES = {
-    "paper": paper_machine,
-    "figure1": figure1_machine,
-}
+#: Machines a sweep may target — the shared registry, so the sweep
+#: runner, the compiler CLI, and the compile server resolve the same
+#: names to the same configurations.
+MACHINES = MACHINE_FACTORIES
 
 
 class SweepError(RuntimeError):
@@ -188,7 +189,9 @@ def _run_shard(task: dict) -> dict:
         loop_start = time.perf_counter()
         row: dict[str, dict[str, float]] = {}
         for label, strategy in strategies:
-            compiled = compile_loop(loop, machine, strategy)
+            compiled = compile_one(
+                CompileRequest(loop=loop, machine=machine, strategy=strategy)
+            ).compiled
             telemetry.absorb(compiled)
             row[label] = {
                 "ii": compiled.ii_per_iteration(),
