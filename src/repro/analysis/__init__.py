@@ -1,0 +1,72 @@
+"""Invariant static analysis over the repro source tree itself.
+
+The reproduction's core guarantee — bit-identical results across
+serial, parallel, cached, served, and sharded execution — rests on
+conventions the code is merely trusted to follow: no wall clock or
+unseeded RNG in effort-counted paths, tempfile+``os.replace`` or a
+single ``O_APPEND`` write for every shared file, no blocking calls
+inside ``repro.serve`` coroutines, no set-iteration order leaking into
+cache keys or digests.  :mod:`repro.check` (PR 5) validates compiler
+*outputs*; this package validates the *codebase*: a call-graph-aware
+analyzer over the repo's own Python AST that re-derives those
+concurrency/determinism obligations independently, in the same
+stable-rule-id style.
+
+Layers:
+
+* :mod:`repro.analysis.modules` — source discovery and AST parsing
+  (deterministic, sorted by module name);
+* :mod:`repro.analysis.callgraph` — per-function call extraction with
+  best-effort resolution of internal calls, external (stdlib) calls,
+  and function references submitted to worker pools;
+* :mod:`repro.analysis.zones` — taint-style classification of
+  functions into zones (``deterministic-core``, ``async-handler``,
+  ``fork-worker``, ``shared-filesystem-writer``) by reachability from
+  configured seeds;
+* :mod:`repro.analysis.rules` — the rule engine: ``D-*`` determinism,
+  ``A-*`` async safety, ``F-*`` filesystem atomicity, ``K-*`` fork
+  safety, each with a stable id and per-finding source spans;
+* :mod:`repro.analysis.baseline` — the checked-in exception list
+  (``analysis/baseline.json``): every deliberate violation is explicit,
+  justified with a reason string, and diffed in review;
+* :mod:`repro.analysis.runner` — orchestration plus the machine-
+  readable zone-map artifact;
+* ``python -m repro.analysis`` — the CLI and CI gate
+  (``--fail-on error`` with zero unbaselined findings).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.callgraph import CallGraph, FunctionInfo, build_call_graph
+from repro.analysis.findings import AnalysisFinding, Severity
+from repro.analysis.modules import ModuleInfo, discover_modules
+from repro.analysis.rules import RULES, RuleSpec
+from repro.analysis.runner import (
+    AnalysisConfig,
+    AnalysisResult,
+    analyze_tree,
+    default_config,
+    zone_map_payload,
+)
+from repro.analysis.zones import Zone, ZoneMap, classify_zones
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisFinding",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "CallGraph",
+    "FunctionInfo",
+    "ModuleInfo",
+    "RULES",
+    "RuleSpec",
+    "Severity",
+    "Zone",
+    "ZoneMap",
+    "analyze_tree",
+    "build_call_graph",
+    "classify_zones",
+    "default_config",
+    "discover_modules",
+    "zone_map_payload",
+]

@@ -1,0 +1,146 @@
+"""``python -m repro.analysis`` — the invariant-analysis CLI and CI gate.
+
+Examples::
+
+    # Tree-wide sweep against the checked-in baseline (the CI gate):
+    python -m repro.analysis --fail-on error
+
+    # Everything, including baselined findings with their reasons:
+    python -m repro.analysis --show-baselined
+
+    # Machine-readable output plus the zone-map artifact:
+    python -m repro.analysis --format json --zone-map zones.json
+
+Exit codes: 0 = gate passed, 1 = unbaselined findings at/above
+``--fail-on``, 2 = usage or baseline-file error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.runner import (
+    AnalysisResult,
+    analyze_tree,
+    default_baseline_path,
+    default_config,
+    write_zone_map,
+)
+from repro.analysis.rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="invariant static analysis over the repro source tree",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of justified waivers "
+        "(default: <repo>/analysis/baseline.json when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding as unbaselined",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="exit nonzero when unbaselined findings at/above this "
+        "severity exist (default: error)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print baselined findings with their waiver reasons",
+    )
+    parser.add_argument(
+        "--zone-map",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable zone map artifact to PATH",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def _render_text(result: AnalysisResult, args: argparse.Namespace) -> str:
+    lines = [
+        f"repro invariant analysis: {len(result.modules)} modules, "
+        f"{result.function_count} functions"
+    ]
+    for finding in result.unbaselined:
+        lines.append(finding.render())
+    if args.show_baselined:
+        for finding, entry in result.baselined:
+            lines.append(f"{finding.render()}\n    baselined: {entry.reason}")
+    elif result.baselined:
+        lines.append(
+            f"{len(result.baselined)} baselined finding(s) suppressed "
+            f"({result.baseline_path or 'baseline'}; --show-baselined to list)"
+        )
+    for entry in result.stale_entries:
+        lines.append(
+            f"[STALE BASELINE] {entry.rule} {entry.module}:{entry.function} "
+            f"no longer matches any finding — remove it ({entry.reason})"
+        )
+    lines.append(result.summary(args.fail_on))
+    return "\n".join(lines)
+
+
+def _list_rules() -> str:
+    lines = ["rule          zone                       severity  invariant"]
+    for rule_id in sorted(RULES):
+        spec = RULES[rule_id]
+        lines.append(
+            f"{rule_id:<13} {spec.zone.value:<26} {spec.severity.value:<9} "
+            f"{spec.invariant}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    baseline = Baseline.empty()
+    if not args.no_baseline:
+        path = args.baseline
+        if path is None:
+            default = default_baseline_path()
+            path = str(default) if default.exists() else None
+        if path is not None:
+            try:
+                baseline = Baseline.load(path)
+            except (OSError, BaselineError, json.JSONDecodeError) as exc:
+                print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+                return 2
+
+    result = analyze_tree(config=default_config(), baseline=baseline)
+
+    if args.zone_map:
+        write_zone_map(result, args.zone_map)
+
+    if args.format == "json":
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(_render_text(result, args))
+
+    return 1 if result.gate_failures(args.fail_on) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""The checked-in exception list for deliberate invariant waivers.
+
+Layout of ``analysis/baseline.json``::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "D-WALLCLOCK",
+          "module": "repro.compiler.driver",
+          "function": "compile_loop",
+          "reason": "check_ms is wall telemetry; WALL_FIELDS are excluded ..."
+        },
+        ...
+      ]
+    }
+
+An entry matches every finding with the same ``(rule, module,
+function)`` — deliberately line-insensitive so unrelated edits don't
+churn the baseline (the cost: one entry waives all same-rule findings
+in that function, which review accepts because the reason must cover
+the function's whole use of the pattern).  Every entry **must** carry a
+non-empty ``reason``; loading rejects reasonless entries so a waiver
+can never be silent.  Entries that no longer match anything are
+reported as *stale* so the file shrinks as code is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import AnalysisFinding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    module: str
+    function: str
+    reason: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.module, self.function)
+
+    def to_json(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "function": self.function,
+            "reason": self.reason,
+        }
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad shape, missing reason)."""
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry]
+    path: str = ""
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise BaselineError(f"{path}: expected baseline version {BASELINE_VERSION}")
+        entries = []
+        for i, item in enumerate(raw.get("entries", [])):
+            if not isinstance(item, dict):
+                raise BaselineError(f"{path}: entry {i} is not an object")
+            missing = {"rule", "module", "function", "reason"} - set(item)
+            if missing:
+                raise BaselineError(f"{path}: entry {i} missing {sorted(missing)}")
+            if not str(item["reason"]).strip():
+                raise BaselineError(
+                    f"{path}: entry {i} ({item['rule']} {item['module']}:"
+                    f"{item['function']}) has an empty reason — every waiver "
+                    "must be justified"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(item["rule"]),
+                    module=str(item["module"]),
+                    function=str(item["function"]),
+                    reason=str(item["reason"]),
+                )
+            )
+        return cls(entries=entries, path=str(path))
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [e.to_json() for e in sorted(self.entries, key=lambda e: e.key)],
+        }
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(
+        self, findings: list[AnalysisFinding]
+    ) -> tuple[list[AnalysisFinding], list[tuple[AnalysisFinding, BaselineEntry]], list[BaselineEntry]]:
+        """Split findings into (unbaselined, baselined, stale entries)."""
+        by_key: dict[tuple[str, str, str], BaselineEntry] = {
+            e.key: e for e in self.entries
+        }
+        used: set[tuple[str, str, str]] = set()
+        unbaselined: list[AnalysisFinding] = []
+        baselined: list[tuple[AnalysisFinding, BaselineEntry]] = []
+        for finding in findings:
+            entry = by_key.get(finding.baseline_key)
+            if entry is None:
+                unbaselined.append(finding)
+            else:
+                used.add(entry.key)
+                baselined.append((finding, entry))
+        stale = [e for e in sorted(self.entries, key=lambda e: e.key) if e.key not in used]
+        return unbaselined, baselined, stale

@@ -1,0 +1,91 @@
+"""Findings model for the invariant static analyzer.
+
+An :class:`AnalysisFinding` is one violated (or deliberately waived)
+codebase obligation: a stable rule id (``D-WALLCLOCK``, ``F-ATOMIC``,
+...), the function it lands in, a precise source span, the zone that
+made the rule applicable, and the call chain that put the function in
+that zone.  Mirrors :class:`repro.check.findings.CheckFinding` — the
+translation-validation findings model — so both gates read the same
+way in review.
+
+Severity policy:
+
+* ``ERROR`` — the invariant is violated; the finding must be fixed or
+  explicitly baselined with a reason (``--fail-on error`` gates CI).
+* ``WARNING`` — suspicious but not provably a violation; reported,
+  never fatal by default.
+* ``INFO`` — ground the analyzer skipped (reported for transparency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class AnalysisFinding:
+    """One rule violation at one source span."""
+
+    rule: str  # stable rule id, e.g. "D-WALLCLOCK"
+    severity: Severity
+    module: str  # dotted module name, e.g. "repro.compiler.driver"
+    function: str  # qualname within the module ("<module>" for module level)
+    path: str  # file path, repo-relative when possible
+    line: int
+    col: int
+    zone: str  # the zone that made the rule applicable
+    message: str
+    trace: tuple[str, ...] = ()  # call chain from the zone seed to here
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """The line-insensitive identity a baseline entry matches on."""
+        return (self.rule, self.module, self.function)
+
+    def render(self) -> str:
+        head = (
+            f"[{self.severity.value.upper()} {self.rule}] "
+            f"{self.path}:{self.line}:{self.col} "
+            f"{self.module}:{self.function} ({self.zone}): {self.message}"
+        )
+        if self.trace:
+            head += f"\n    via {' -> '.join(self.trace)}"
+        return head
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "module": self.module,
+            "function": self.function,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "zone": self.zone,
+            "message": self.message,
+            "trace": list(self.trace),
+        }
+
+
+def sort_findings(findings: list[AnalysisFinding]) -> list[AnalysisFinding]:
+    """Canonical finding order: location first, then rule id.
+
+    Sorting is what makes analyzer output independent of file-discovery
+    order — the hypothesis test in ``tests/test_analysis.py`` holds the
+    whole pipeline to that.
+    """
+    return sorted(
+        findings,
+        key=lambda f: (f.module, f.path, f.line, f.col, f.rule, f.function),
+    )

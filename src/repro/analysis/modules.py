@@ -1,0 +1,73 @@
+"""Source discovery and AST parsing for the invariant analyzer.
+
+Walks a package root, parses every ``*.py`` file, and returns
+:class:`ModuleInfo` records sorted by dotted module name — the analyzer
+is deterministic and independent of filesystem enumeration order by
+construction (and tested to be, in ``tests/test_analysis.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module."""
+
+    name: str  # dotted module name, e.g. "repro.compiler.driver"
+    path: str  # file path as given (repo-relative when possible)
+    tree: ast.Module
+
+    @property
+    def package(self) -> str:
+        """The package the module lives in (its own name for ``__init__``)."""
+        if self.path.endswith("__init__.py"):
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def module_name_for(path: Path, root: Path, package: str) -> str:
+    """Dotted module name of ``path`` under ``root`` named ``package``."""
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join([package, *parts]) if parts else package
+
+
+def discover_modules(root: str | os.PathLike[str], package: str) -> list[ModuleInfo]:
+    """Parse every ``*.py`` under ``root`` as modules of ``package``.
+
+    Files that fail to parse raise — the analyzer refuses to silently
+    skip source it cannot see.  The result is sorted by module name.
+    """
+    root_path = Path(root)
+    modules: list[ModuleInfo] = []
+    for path in sorted(root_path.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        modules.append(
+            ModuleInfo(
+                name=module_name_for(path, root_path, package),
+                path=_display_path(path),
+                tree=tree,
+            )
+        )
+    modules.sort(key=lambda m: m.name)
+    return modules
+
+
+def _display_path(path: Path) -> str:
+    """Prefer a cwd-relative path so findings render as clickable repo
+    paths; fall back to the absolute path outside the repo."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)

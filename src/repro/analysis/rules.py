@@ -1,0 +1,435 @@
+"""The invariant rule engine: stable ids over zone-classified functions.
+
+Rule families (each finding carries the zone that made it applicable
+and the call chain from the zone seed):
+
+* ``D-*`` determinism over the ``deterministic-core`` zone —
+  D-WALLCLOCK (wall-clock reads), D-RNG (unseeded/global RNG),
+  D-SETITER (unordered set iteration / order-leaking conversion),
+  D-DICTPOP (``dict.popitem()`` / argless ``set.pop()``), D-ENV
+  (environment-dependent values);
+* ``A-*`` async safety over the ``async-handler`` zone — A-BLOCKING
+  (subprocess, ``time.sleep``, sync file IO on the event loop),
+  A-AWAIT-LOCK (blocking ``.result()`` / ``.acquire()`` waits);
+* ``F-*`` filesystem atomicity over the ``shared-filesystem-writer``
+  zone — F-ATOMIC (plain write bypassing tempfile+``os.replace``),
+  F-APPEND (buffered append bypassing the single-``O_APPEND``-write
+  protocol);
+* ``K-*`` fork safety over modules containing ``fork-worker``
+  functions — K-FORK-STATE (mutated module-level mutable state
+  captured across the fork), K-FORK-LOCK (module-level locks).
+
+Every rule is exercised by a fixture pair in
+``tests/data/analysis_fixtures`` — a minimal violation it must fire
+on and a compliant twin it must stay silent on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.callgraph import MODULE_BODY, CallGraph, FunctionInfo
+from repro.analysis.findings import AnalysisFinding, Severity
+from repro.analysis.zones import Zone, ZoneMap, zone_trace
+
+#: Wall-clock reads (monotonic clocks included: their *values* differ
+#: across runs, so any use in a digested/counted path breaks equality).
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level (global, unseeded) RNG entry points and other
+#: nondeterministic value sources.
+GLOBAL_RNG_CALLS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.gauss",
+        "random.getrandbits",
+        "random.seed",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbelow",
+    }
+)
+
+#: Calls that block the event loop outright.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "shutil.copy",
+        "shutil.copytree",
+        "shutil.rmtree",
+    }
+)
+
+#: Sync file IO that must be offloaded (``asyncio.to_thread`` /
+#: ``run_in_executor``) rather than run on the loop.
+BLOCKING_FILE_CALLS = frozenset(
+    {"open", "io.open", "os.fdopen", "os.replace", "os.rename", "os.fsync"}
+)
+
+#: Blocking-wait attribute patterns (unknown receiver).
+BLOCKING_WAIT_ATTRS = frozenset({"*.result", "*.acquire"})
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One rule's identity and documentation."""
+
+    id: str
+    zone: Zone
+    severity: Severity
+    invariant: str
+
+
+RULES: dict[str, RuleSpec] = {
+    spec.id: spec
+    for spec in (
+        RuleSpec(
+            "D-WALLCLOCK",
+            Zone.DETERMINISTIC_CORE,
+            Severity.ERROR,
+            "no wall-clock reads in effort-counted / digested paths",
+        ),
+        RuleSpec(
+            "D-RNG",
+            Zone.DETERMINISTIC_CORE,
+            Severity.ERROR,
+            "no unseeded or module-global RNG in deterministic paths",
+        ),
+        RuleSpec(
+            "D-SETITER",
+            Zone.DETERMINISTIC_CORE,
+            Severity.ERROR,
+            "no unordered set iteration order leaking into results",
+        ),
+        RuleSpec(
+            "D-DICTPOP",
+            Zone.DETERMINISTIC_CORE,
+            Severity.ERROR,
+            "no arbitrary-element removal (dict.popitem / argless set.pop)",
+        ),
+        RuleSpec(
+            "D-ENV",
+            Zone.DETERMINISTIC_CORE,
+            Severity.ERROR,
+            "no environment-dependent values in deterministic paths",
+        ),
+        RuleSpec(
+            "A-BLOCKING",
+            Zone.ASYNC_HANDLER,
+            Severity.ERROR,
+            "no blocking calls (subprocess, sleep, sync file IO) on the event loop",
+        ),
+        RuleSpec(
+            "A-AWAIT-LOCK",
+            Zone.ASYNC_HANDLER,
+            Severity.ERROR,
+            "no blocking waits (.result() / .acquire()) inside coroutine-reachable code",
+        ),
+        RuleSpec(
+            "F-ATOMIC",
+            Zone.SHARED_FS,
+            Severity.ERROR,
+            "shared-file writes go through tempfile + os.replace",
+        ),
+        RuleSpec(
+            "F-APPEND",
+            Zone.SHARED_FS,
+            Severity.ERROR,
+            "shared-file appends are a single O_APPEND write, never buffered 'a' mode",
+        ),
+        RuleSpec(
+            "K-FORK-STATE",
+            Zone.FORK_WORKER,
+            Severity.ERROR,
+            "no mutated module-level state captured across ProcessPoolExecutor forks",
+        ),
+        RuleSpec(
+            "K-FORK-LOCK",
+            Zone.FORK_WORKER,
+            Severity.ERROR,
+            "no module-level locks captured across ProcessPoolExecutor forks",
+        ),
+    )
+}
+
+
+def run_rules(graph: CallGraph, zone_map: ZoneMap) -> list[AnalysisFinding]:
+    """Apply every rule to every zone-classified function."""
+    findings: list[AnalysisFinding] = []
+    for key in sorted(graph.functions):
+        info = graph.functions[key]
+        zones = zone_map.zones.get(key, {})
+        if Zone.DETERMINISTIC_CORE in zones:
+            findings += _determinism_rules(info, graph, zone_map)
+        if Zone.ASYNC_HANDLER in zones:
+            findings += _async_rules(info, graph, zone_map)
+        if Zone.SHARED_FS in zones:
+            findings += _filesystem_rules(info, graph, zone_map)
+    findings += _fork_rules(graph, zone_map)
+    return findings
+
+
+def _finding(
+    rule: str,
+    info: FunctionInfo,
+    line: int,
+    col: int,
+    message: str,
+    graph: CallGraph,
+    zone_map: ZoneMap,
+) -> AnalysisFinding:
+    spec = RULES[rule]
+    return AnalysisFinding(
+        rule=rule,
+        severity=spec.severity,
+        module=info.module,
+        function=info.qualname,
+        path=info.path,
+        line=line,
+        col=col,
+        zone=spec.zone.value,
+        message=message,
+        trace=zone_trace(zone_map, graph, info.key, spec.zone),
+    )
+
+
+def _determinism_rules(
+    info: FunctionInfo, graph: CallGraph, zone_map: ZoneMap
+) -> list[AnalysisFinding]:
+    findings = []
+    for call in info.external_calls:
+        if call.name in WALLCLOCK_CALLS:
+            findings.append(
+                _finding(
+                    "D-WALLCLOCK",
+                    info,
+                    call.line,
+                    call.col,
+                    f"wall-clock read {call.name}() in a deterministic path",
+                    graph,
+                    zone_map,
+                )
+            )
+        if call.name in GLOBAL_RNG_CALLS:
+            findings.append(
+                _finding(
+                    "D-RNG",
+                    info,
+                    call.line,
+                    call.col,
+                    f"module-global RNG call {call.name}()",
+                    graph,
+                    zone_map,
+                )
+            )
+        if call.name in ("random.Random", "random.SystemRandom") and call.nargs == 0:
+            findings.append(
+                _finding(
+                    "D-RNG",
+                    info,
+                    call.line,
+                    call.col,
+                    f"unseeded {call.name}() — seed it from the request/config",
+                    graph,
+                    zone_map,
+                )
+            )
+        if call.name == "*.popitem":
+            findings.append(
+                _finding(
+                    "D-DICTPOP",
+                    info,
+                    call.line,
+                    call.col,
+                    "dict.popitem() removes in LIFO/arbitrary order",
+                    graph,
+                    zone_map,
+                )
+            )
+    for fact in info.facts:
+        if fact.kind == "set-iteration":
+            findings.append(
+                _finding(
+                    "D-SETITER", info, fact.line, fact.col, fact.detail, graph, zone_map
+                )
+            )
+        elif fact.kind == "set-pop":
+            findings.append(
+                _finding(
+                    "D-DICTPOP", info, fact.line, fact.col, fact.detail, graph, zone_map
+                )
+            )
+        elif fact.kind == "env-read":
+            name = f" ({fact.detail})" if fact.detail else ""
+            findings.append(
+                _finding(
+                    "D-ENV",
+                    info,
+                    fact.line,
+                    fact.col,
+                    f"environment read{name} feeds a deterministic path",
+                    graph,
+                    zone_map,
+                )
+            )
+    return findings
+
+
+def _async_rules(
+    info: FunctionInfo, graph: CallGraph, zone_map: ZoneMap
+) -> list[AnalysisFinding]:
+    findings = []
+    for call in info.external_calls:
+        if call.name in BLOCKING_CALLS or call.name in BLOCKING_FILE_CALLS:
+            findings.append(
+                _finding(
+                    "A-BLOCKING",
+                    info,
+                    call.line,
+                    call.col,
+                    f"blocking call {call.name}() reachable from a coroutine "
+                    "— offload via asyncio.to_thread / run_in_executor",
+                    graph,
+                    zone_map,
+                )
+            )
+        if call.name in BLOCKING_WAIT_ATTRS:
+            findings.append(
+                _finding(
+                    "A-AWAIT-LOCK",
+                    info,
+                    call.line,
+                    call.col,
+                    f"blocking wait {call.name}() on the event loop — await it instead",
+                    graph,
+                    zone_map,
+                )
+            )
+    return findings
+
+
+def _filesystem_rules(
+    info: FunctionInfo, graph: CallGraph, zone_map: ZoneMap
+) -> list[AnalysisFinding]:
+    findings = []
+    has_replace = any(f.kind == "os-replace" for f in info.facts)
+    for fact in info.facts:
+        if fact.kind == "open-write" and not has_replace:
+            findings.append(
+                _finding(
+                    "F-ATOMIC",
+                    info,
+                    fact.line,
+                    fact.col,
+                    f"plain write (mode {fact.detail!r}) into a shared directory "
+                    "without tempfile + os.replace in the same function",
+                    graph,
+                    zone_map,
+                )
+            )
+        elif fact.kind == "open-append":
+            findings.append(
+                _finding(
+                    "F-APPEND",
+                    info,
+                    fact.line,
+                    fact.col,
+                    f"buffered append (mode {fact.detail!r}) can tear — use a "
+                    "single os.write on an O_APPEND fd",
+                    graph,
+                    zone_map,
+                )
+            )
+    return findings
+
+
+def _fork_rules(graph: CallGraph, zone_map: ZoneMap) -> list[AnalysisFinding]:
+    """K-* rules are module-scoped: a module owning any fork-worker
+    function must not carry mutated module state or locks."""
+    findings = []
+    fork_modules: dict[str, str] = {}
+    for key in zone_map.members(Zone.FORK_WORKER):
+        module = key.split(":", 1)[0]
+        fork_modules.setdefault(module, key)
+    for module in sorted(fork_modules):
+        facts = graph.module_facts.get(module)
+        body = graph.functions.get(f"{module}:{MODULE_BODY}")
+        if facts is None or body is None:
+            continue
+        witness = fork_modules[module]
+        for name in sorted(facts.mutable_globals):
+            line, col, kind = facts.mutable_globals[name]
+            if name not in facts.mutated_names:
+                continue  # read-only lookup tables are fork-safe
+            findings.append(
+                AnalysisFinding(
+                    rule="K-FORK-STATE",
+                    severity=RULES["K-FORK-STATE"].severity,
+                    module=module,
+                    function=MODULE_BODY,
+                    path=body.path,
+                    line=line,
+                    col=col,
+                    zone=Zone.FORK_WORKER.value,
+                    message=f"module-level mutable {kind} {name!r} is mutated and "
+                    f"captured across the fork boundary (worker: {witness})",
+                    trace=zone_trace(zone_map, graph, witness, Zone.FORK_WORKER),
+                )
+            )
+        for name in sorted(facts.lock_globals):
+            line, col = facts.lock_globals[name]
+            findings.append(
+                AnalysisFinding(
+                    rule="K-FORK-LOCK",
+                    severity=RULES["K-FORK-LOCK"].severity,
+                    module=module,
+                    function=MODULE_BODY,
+                    path=body.path,
+                    line=line,
+                    col=col,
+                    zone=Zone.FORK_WORKER.value,
+                    message=f"module-level lock {name!r} captured across the fork "
+                    f"boundary can deadlock children (worker: {witness})",
+                    trace=zone_trace(zone_map, graph, witness, Zone.FORK_WORKER),
+                )
+            )
+    return findings
+
+
+RuleFn = Callable[[CallGraph, ZoneMap], list[AnalysisFinding]]

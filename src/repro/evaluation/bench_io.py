@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 
 from repro.evaluation.experiments import Evaluator, figure1_iis
@@ -235,24 +236,44 @@ def _equivalent_artifact_exists(path: str, payload: object) -> bool:
     return strip_wall_fields(existing) == strip_wall_fields(payload)
 
 
+def _atomic_write_json(path: str, payload: object) -> None:
+    """Write ``payload`` atomically: serialize to a sibling tempfile,
+    then ``os.replace``.  Sweep shards, the perf-smoke jobs, and the
+    dashboard all read BENCH artifacts while other processes rewrite
+    them — a reader must only ever see a complete old or new file,
+    never a torn write (F-ATOMIC)."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".bench-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def write_bench_json(
     experiment: str, payload: dict[str, object], directory: str = "."
 ) -> str:
     """Write one ``BENCH_<experiment>.json`` artifact; returns its path.
 
     Writes are canonical — sorted keys, fixed wall-float rounding, one
-    trailing newline — and a no-op run (identical deterministic content,
-    only wall clock / cache traffic moved) leaves the existing file
-    untouched, so committed artifacts stop churning.
+    trailing newline — atomic (tempfile + ``os.replace``), and a no-op
+    run (identical deterministic content, only wall clock / cache
+    traffic moved) leaves the existing file untouched, so committed
+    artifacts stop churning.
     """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, artifact_name(experiment))
     payload = canonicalize_payload(payload)  # type: ignore[assignment]
     if os.path.exists(path) and _equivalent_artifact_exists(path, payload):
         return path
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=2, sort_keys=True)
-        f.write("\n")
+    _atomic_write_json(path, payload)
     return path
 
 
@@ -267,9 +288,7 @@ def write_baseline(
     }
     if os.path.exists(path) and _equivalent_artifact_exists(path, document):
         return path
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(document, f, indent=2, sort_keys=True)
-        f.write("\n")
+    _atomic_write_json(path, document)
     return path
 
 

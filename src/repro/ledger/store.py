@@ -60,7 +60,7 @@ class Ledger:
         root: str = DEFAULT_LEDGER_DIR,
         *,
         warn: Callable[[str], None] | None = None,
-    ):
+    ) -> None:
         self.root = root
         self._warn_cb = warn if warn is not None else _stderr_warn
         #: Warnings collected by the most recent scan.

@@ -70,7 +70,7 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
 class HttpClient:
     """Minimal keep-alive HTTP/1.1 JSON client over asyncio streams."""
 
-    def __init__(self, host: str, port: int):
+    def __init__(self, host: str, port: int) -> None:
         self.host = host
         self.port = port
         self._reader: asyncio.StreamReader | None = None

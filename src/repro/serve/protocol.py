@@ -37,6 +37,8 @@ so clients can branch on ``code`` without parsing prose.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.compiler.service import CompileRequest
 from repro.compiler.strategies import Strategy
 from repro.frontend import parse_loop
@@ -48,7 +50,7 @@ class ProtocolError(Exception):
     """A request the protocol rejects, with a machine-readable code and
     the HTTP status the server should answer with."""
 
-    def __init__(self, code: str, message: str, status: int = 400):
+    def __init__(self, code: str, message: str, status: int = 400) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
@@ -58,13 +60,13 @@ class ProtocolError(Exception):
         return {"error": {"code": self.code, "message": self.message}}
 
 
-def _require(mapping: dict, field: str, code: str):
+def _require(mapping: dict, field: str, code: str) -> Any:
     if field not in mapping:
         raise ProtocolError(code, f"missing required field {field!r}")
     return mapping[field]
 
 
-def _parse_loop_form(form) -> "object":
+def _parse_loop_form(form: object) -> "object":
     if not isinstance(form, dict):
         raise ProtocolError(
             "bad_loop", "loop must be an object with 'dsl' or 'generator'"
@@ -103,7 +105,7 @@ def _parse_loop_form(form) -> "object":
     return generate(archetype, seed, name)
 
 
-def parse_compile_request(body) -> CompileRequest:
+def parse_compile_request(body: object) -> CompileRequest:
     """Validate one JSON request body into a :class:`CompileRequest`.
 
     Raises :class:`ProtocolError` on any malformed or unknown field

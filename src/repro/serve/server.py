@@ -129,7 +129,7 @@ class ServerStats:
 class CompileServer:
     """The batching, deduplicating compile front door."""
 
-    def __init__(self, config: ServerConfig):
+    def __init__(self, config: ServerConfig) -> None:
         self.config = config
         self.store = ArtifactStore(
             config.store_dir, max_bytes=config.max_bytes
@@ -436,7 +436,9 @@ class CompileServer:
                 # connection is going away either way.
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader):
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes, tuple[int, dict, dict[str, str]] | None] | None:
         """One framed request: ``(method, path, headers, body, error)``,
         or ``None`` on a cleanly closed connection.  ``error`` is a
         pre-built response for framing problems (bad request line,

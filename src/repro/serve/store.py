@@ -40,7 +40,7 @@ class ArtifactStore:
         directory: str,
         max_bytes: int | None = None,
         summary_slots: int = 4096,
-    ):
+    ) -> None:
         self.cache = CompileCache(directory, max_bytes=max_bytes)
         self._summaries: OrderedDict[str, dict] = OrderedDict()
         self._summary_slots = summary_slots

@@ -30,7 +30,7 @@ class SweepManifest:
         directory: str,
         *,
         warn: Callable[[str], None] | None = None,
-    ):
+    ) -> None:
         self.directory = directory
         self.path = os.path.join(directory, MANIFEST_FILE)
         self._warn = warn if warn is not None else _stderr_warn

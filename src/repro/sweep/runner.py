@@ -21,6 +21,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.compiler.driver import check_env_enabled
 from repro.compiler.service import CompileRequest, compile_one
@@ -38,6 +39,9 @@ from repro.ledger.store import Ledger, merge_records
 from repro.machine.configs import MACHINE_FACTORIES
 from repro.sweep.manifest import SweepManifest
 from repro.workloads.generator import CorpusSpec, corpus_plan
+
+if TYPE_CHECKING:
+    from repro.profiling.progress import ProgressMonitor
 
 SHARD_DIR = "shards"
 
@@ -58,7 +62,7 @@ class ShardFailure(RuntimeError):
     the shard's result file and manifest line are never written, exactly
     as if the process had been SIGKILLed mid-compile."""
 
-    def __init__(self, shard: int, after: int):
+    def __init__(self, shard: int, after: int) -> None:
         self.shard = shard
         super().__init__(
             f"shard {shard} killed after {after} loop(s) (induced failure)"
@@ -277,7 +281,7 @@ def run_sweep(
     resume: bool = False,
     ledger_dir: str | None = None,
     run_label: str = "sweep",
-    progress=None,
+    progress: "ProgressMonitor | None" = None,
     fail_shard: int | None = None,
     fail_after: int | None = None,
 ) -> SweepResult:

@@ -1,0 +1,10 @@
+"""A-AWAIT-LOCK violation: blocking .result() and .acquire() waits
+stall the whole event loop, starving every other connection."""
+
+
+async def handle(future, lock) -> object:
+    lock.acquire()
+    try:
+        return future.result()
+    finally:
+        lock.release()

@@ -1,0 +1,9 @@
+"""A-AWAIT-LOCK compliant twin: asyncio primitives are awaited, so the
+loop keeps serving other work while this handler waits."""
+
+import asyncio
+
+
+async def handle(future: asyncio.Future, lock: asyncio.Lock) -> object:
+    async with lock:
+        return await future

@@ -1,0 +1,14 @@
+"""A-BLOCKING violation: a coroutine sleeps synchronously and calls a
+sync helper that does file IO on the event loop."""
+
+import time
+
+
+async def handle(path: str) -> str:
+    time.sleep(0.1)
+    return read_file(path)
+
+
+def read_file(path: str) -> str:
+    with open(path, encoding="utf-8") as f:
+        return f.read()

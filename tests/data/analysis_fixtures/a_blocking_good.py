@@ -1,0 +1,15 @@
+"""A-BLOCKING compliant twin: waits are awaited and file IO is
+offloaded — a function *reference* handed to to_thread never becomes a
+synchronous call edge, so the helper stays off the event loop."""
+
+import asyncio
+
+
+async def handle(path: str) -> str:
+    await asyncio.sleep(0.1)
+    return await asyncio.to_thread(read_file, path)
+
+
+def read_file(path: str) -> str:
+    with open(path, encoding="utf-8") as f:
+        return f.read()

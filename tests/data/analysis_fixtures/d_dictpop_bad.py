@@ -1,0 +1,8 @@
+"""D-DICTPOP violation: popitem()/set.pop() remove arbitrary elements."""
+
+
+def entry(table: dict, keys: list) -> tuple:
+    last = table.popitem()
+    pending = set(keys)
+    first = pending.pop()
+    return last, first

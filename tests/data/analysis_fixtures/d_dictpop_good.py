@@ -1,0 +1,8 @@
+"""D-DICTPOP compliant twin: removal targets a *named* key, so the
+choice of element is deterministic."""
+
+
+def entry(table: dict, keys: list) -> tuple:
+    key = min(keys)
+    value = table.pop(key)
+    return key, value

@@ -1,0 +1,11 @@
+"""D-ENV violation: an environment variable steers a deterministic
+path, so two hosts can compute different answers for the same input."""
+
+import os
+
+
+def entry(items: list) -> list:
+    mode = os.environ.get("FX_MODE", "fast")
+    if mode == "fast":
+        return items
+    return list(reversed(items))

@@ -1,0 +1,8 @@
+"""D-ENV compliant twin: the knob is part of the explicit request
+config, captured in cache keys and digests."""
+
+
+def entry(items: list, mode: str) -> list:
+    if mode == "fast":
+        return items
+    return list(reversed(items))

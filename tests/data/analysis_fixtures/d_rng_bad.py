@@ -1,0 +1,9 @@
+"""D-RNG violation: module-global RNG and an unseeded Random()."""
+
+import random
+
+
+def entry(items: list) -> list:
+    jitter = random.random()
+    rng = random.Random()
+    return [jitter, rng]

@@ -1,0 +1,7 @@
+"""D-SETITER violation: unordered set iteration order reaches the
+result (hash order differs across processes under PYTHONHASHSEED)."""
+
+
+def entry(items: list) -> list:
+    seen = set(items)
+    return [item for item in seen]

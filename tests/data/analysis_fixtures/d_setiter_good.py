@@ -1,0 +1,7 @@
+"""D-SETITER compliant twin: the set is only used for membership and
+dedup; anything ordered goes through sorted()."""
+
+
+def entry(items: list) -> list:
+    seen = set(items)
+    return sorted(seen)

@@ -1,0 +1,11 @@
+"""D-WALLCLOCK violation: a deterministic payload stamped with now()."""
+
+import time
+
+
+def entry(loops: list) -> dict:
+    return {"loops": len(loops), "stamp": stamp()}
+
+
+def stamp() -> float:
+    return time.time()

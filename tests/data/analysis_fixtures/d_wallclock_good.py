@@ -1,0 +1,10 @@
+"""D-WALLCLOCK compliant twin: the timestamp is an *input*, stamped by
+the caller outside the deterministic path."""
+
+
+def entry(loops: list, stamp: float) -> dict:
+    return {"loops": len(loops), "stamp": normalize(stamp)}
+
+
+def normalize(stamp: float) -> float:
+    return round(stamp, 3)

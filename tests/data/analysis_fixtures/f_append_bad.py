@@ -1,0 +1,7 @@
+"""F-APPEND violation: buffered 'a'-mode appends from concurrent
+processes can interleave partial lines."""
+
+
+def append_line(path: str, line: str) -> None:
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(line + "\n")

@@ -1,0 +1,13 @@
+"""F-APPEND compliant twin: one os.write on an O_APPEND fd — the
+kernel appends the whole buffer atomically, so concurrent appenders
+interleave complete lines, never halves."""
+
+import os
+
+
+def append_line(path: str, line: str) -> None:
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, (line + "\n").encode("utf-8"))
+    finally:
+        os.close(fd)

@@ -1,0 +1,9 @@
+"""F-ATOMIC violation: a shared artifact written in place — a reader
+(or a crash) can observe a torn, half-written file."""
+
+import json
+
+
+def write_entry(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f)

@@ -1,0 +1,13 @@
+"""F-ATOMIC compliant twin: serialize to a sibling tempfile, then
+os.replace — readers only ever see a complete old or new file."""
+
+import json
+import os
+import tempfile
+
+
+def write_entry(path: str, payload: dict) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".")
+    with os.fdopen(fd, "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+    os.replace(tmp, path)

@@ -1,0 +1,18 @@
+"""K-FORK-LOCK violation: a module-level lock captured across the fork
+— a child forked while the parent holds it inherits a locked lock no
+one will ever release (deadlock)."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_LOCK = threading.Lock()
+
+
+def work(item: int) -> int:
+    with _LOCK:
+        return item * 2
+
+
+def run(items: list) -> list:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, items))

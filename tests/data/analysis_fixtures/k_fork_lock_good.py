@@ -1,0 +1,19 @@
+"""K-FORK-LOCK compliant twin: parent-side coordination uses a
+function-local lock that never crosses the fork; workers are pure."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item: int) -> int:
+    return item * 2
+
+
+def run(items: list) -> list:
+    progress_lock = threading.Lock()  # local: dies with this frame
+    out = []
+    with ProcessPoolExecutor() as pool:
+        for value in pool.map(work, items):
+            with progress_lock:
+                out.append(value)
+    return out

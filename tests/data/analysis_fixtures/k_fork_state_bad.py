@@ -1,0 +1,18 @@
+"""K-FORK-STATE violation: module-level mutable state mutated around a
+ProcessPoolExecutor — children fork a snapshot that silently diverges
+from the parent's copy."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS: dict = {}
+
+
+def work(item: int) -> int:
+    return item * 2
+
+
+def run(items: list) -> dict:
+    with ProcessPoolExecutor() as pool:
+        for item, value in zip(items, pool.map(work, items)):
+            _RESULTS[item] = value
+    return _RESULTS

@@ -1,0 +1,13 @@
+"""K-FORK-STATE compliant twin: results flow through return values;
+nothing module-level is mutated on either side of the fork."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item: int) -> int:
+    return item * 2
+
+
+def run(items: list) -> dict:
+    with ProcessPoolExecutor() as pool:
+        return dict(zip(items, pool.map(work, items)))
